@@ -1,0 +1,119 @@
+// Ablation (DESIGN.md §5): PAM vs CLARA vs k-means on the map's clustering
+// stage. Shows the latency crossover that justifies the paper's "when the
+// data is too large, Blaeu creates the maps with CLARA", and the accuracy
+// each algorithm pays (ARI vs planted clusters, reported as counters).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/clara.h"
+#include "cluster/kmeans.h"
+#include "cluster/pam.h"
+#include "stats/distance.h"
+#include "stats/metrics.h"
+#include "workloads/gaussian.h"
+
+using namespace blaeu;
+
+namespace {
+
+struct Fixture {
+  stats::Matrix features;
+  std::vector<int> truth;
+};
+
+const Fixture& MixtureCached(size_t rows) {
+  static std::map<size_t, Fixture>* cache = new std::map<size_t, Fixture>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    workloads::MixtureSpec spec;
+    spec.rows = rows;
+    spec.num_clusters = 4;
+    spec.dims = 6;
+    spec.separation = 7.0;
+    spec.seed = rows;
+    auto data = workloads::MakeGaussianMixture(spec);
+    Fixture f;
+    f.features = stats::Matrix(rows, 6);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < 6; ++c) {
+        f.features.At(r, c) = data.table->column(c)->doubles()[r];
+      }
+    }
+    f.truth = data.truth.row_clusters;
+    it = cache->emplace(rows, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_Pam(benchmark::State& state) {
+  const Fixture& f = MixtureCached(static_cast<size_t>(state.range(0)));
+  double ari = 0;
+  for (auto _ : state) {
+    auto dist = stats::DistanceMatrix::Euclidean(f.features);
+    auto result = cluster::Pam(dist, 4);
+    if (!result.ok()) state.SkipWithError("pam failed");
+    ari = stats::AdjustedRandIndex(result->labels, f.truth);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ari"] = ari;
+}
+
+void BM_PamNaiveSwap(benchmark::State& state) {
+  const Fixture& f = MixtureCached(static_cast<size_t>(state.range(0)));
+  double ari = 0;
+  for (auto _ : state) {
+    auto dist = stats::DistanceMatrix::Euclidean(f.features);
+    auto result = cluster::PamNaive(dist, 4);
+    if (!result.ok()) state.SkipWithError("pam failed");
+    ari = stats::AdjustedRandIndex(result->labels, f.truth);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ari"] = ari;
+}
+
+void BM_Clara(benchmark::State& state) {
+  const Fixture& f = MixtureCached(static_cast<size_t>(state.range(0)));
+  const size_t n = f.features.rows();
+  auto dist_fn = [&f](size_t i, size_t j) {
+    return stats::EuclideanDistance(f.features.RowPtr(i),
+                                    f.features.RowPtr(j), f.features.cols());
+  };
+  double ari = 0;
+  cluster::ClaraOptions opt;
+  for (auto _ : state) {
+    opt.seed++;
+    auto result = cluster::Clara(n, dist_fn, 4, opt);
+    if (!result.ok()) state.SkipWithError("clara failed");
+    ari = stats::AdjustedRandIndex(result->labels, f.truth);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ari"] = ari;
+}
+
+void BM_KMeans(benchmark::State& state) {
+  const Fixture& f = MixtureCached(static_cast<size_t>(state.range(0)));
+  double ari = 0;
+  cluster::KMeansOptions opt;
+  for (auto _ : state) {
+    opt.seed++;
+    auto result = cluster::KMeans(f.features, 4, opt);
+    if (!result.ok()) state.SkipWithError("kmeans failed");
+    ari = stats::AdjustedRandIndex(result->assignment.labels, f.truth);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["ari"] = ari;
+}
+
+// PAM is O(n^2) memory/time: cap its sweep; CLARA and k-means go further.
+BENCHMARK(BM_Pam)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_PamNaiveSwap)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Clara)->Arg(500)->Arg(1000)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_KMeans)->Arg(500)->Arg(1000)->Arg(2000)->Arg(8000)->Arg(32000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

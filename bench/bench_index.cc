@@ -1,0 +1,79 @@
+// Extension experiment: VP-tree-indexed neighborhoods vs the O(n^2)
+// distance matrix for density-based map detection (DBSCAN). The index is
+// what lets the arbitrary-shape detector participate at the same scales as
+// CLARA.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbscan.h"
+#include "cluster/vptree.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+
+using namespace blaeu;
+
+namespace {
+
+const stats::Matrix& BlobsCached(size_t n) {
+  static std::map<size_t, stats::Matrix>* cache =
+      new std::map<size_t, stats::Matrix>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(n);
+    stats::Matrix data(n, 3);
+    for (size_t i = 0; i < n; ++i) {
+      int c = static_cast<int>(i % 4);
+      for (size_t f = 0; f < 3; ++f) {
+        data.At(i, f) = rng.NextGaussian(8.0 * ((c >> f) & 1), 0.5);
+      }
+    }
+    it = cache->emplace(n, std::move(data)).first;
+  }
+  return it->second;
+}
+
+void BM_DbscanMatrix(benchmark::State& state) {
+  const stats::Matrix& data = BlobsCached(static_cast<size_t>(state.range(0)));
+  cluster::DbscanOptions opt;
+  opt.eps = 0.35;
+  opt.min_points = 5;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto dist = stats::DistanceMatrix::Euclidean(data);
+    auto result = cluster::Dbscan(dist, opt);
+    if (!result.ok()) state.SkipWithError("dbscan failed");
+    clusters = result->num_clusters;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_DbscanIndexed(benchmark::State& state) {
+  const stats::Matrix& data = BlobsCached(static_cast<size_t>(state.range(0)));
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto result = cluster::DbscanIndexed(data, 0.35, 5);
+    clusters = result.num_clusters;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+
+void BM_VpTreeBuild(benchmark::State& state) {
+  const stats::Matrix& data = BlobsCached(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    cluster::VpTree tree(data);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+
+BENCHMARK(BM_DbscanMatrix)->Arg(500)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_DbscanIndexed)->Arg(500)->Arg(2000)->Arg(5000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_VpTreeBuild)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Experiment C4: silhouette-driven choice of k (paper §3: "we generate
+// several partitionings with different numbers of clusters, and keep the
+// one with the best score").
+//
+// Table: for each planted k and separation, how often the sweep recovers
+// the true k (over several seeds), with exact vs Monte-Carlo scoring.
+
+#include <cstdio>
+
+#include "cluster/kselect.h"
+#include "common/timer.h"
+#include "stats/distance.h"
+#include "workloads/gaussian.h"
+
+using namespace blaeu;
+
+namespace {
+
+struct Outcome {
+  size_t hits = 0;
+  size_t trials = 0;
+  double total_ms = 0;
+};
+
+Outcome Run(size_t planted_k, double separation, bool monte_carlo) {
+  Outcome out;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    workloads::MixtureSpec spec;
+    spec.rows = 600;
+    spec.num_clusters = planted_k;
+    spec.dims = 4;
+    spec.separation = separation;
+    spec.seed = seed * 100 + planted_k;
+    auto data = workloads::MakeGaussianMixture(spec);
+    stats::Matrix features(spec.rows, spec.dims);
+    for (size_t r = 0; r < spec.rows; ++r) {
+      for (size_t c = 0; c < spec.dims; ++c) {
+        features.At(r, c) = data.table->column(c)->doubles()[r];
+      }
+    }
+    auto dist = stats::DistanceMatrix::Euclidean(features);
+    cluster::KSelectOptions opt;
+    opt.k_min = 2;
+    opt.k_max = 8;
+    opt.monte_carlo = monte_carlo;
+    opt.mc_options.subsample_size = 150;
+    opt.mc_options.seed = seed;
+    Timer timer;
+    auto result = cluster::SelectKWithPam(dist, opt);
+    out.total_ms += timer.ElapsedMillis();
+    ++out.trials;
+    if (result.ok() && result->best_k == planted_k) ++out.hits;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Blaeu bench: silhouette k-selection (C4)\n\n");
+  std::printf("%10s %12s %10s %14s %14s %12s\n", "planted_k", "separation",
+              "scoring", "recovered", "recovery_rate", "avg_ms");
+  for (size_t k : {2, 3, 4, 5, 6}) {
+    for (double separation : {4.0, 8.0}) {
+      for (bool mc : {false, true}) {
+        Outcome o = Run(k, separation, mc);
+        std::printf("%10zu %12.1f %10s %10zu/%zu %14.2f %12.1f\n", k,
+                    separation, mc ? "mc" : "exact", o.hits, o.trials,
+                    static_cast<double>(o.hits) /
+                        static_cast<double>(o.trials),
+                    o.total_ms / static_cast<double>(o.trials));
+      }
+    }
+  }
+  std::printf("\nExpected shape: near-perfect recovery at separation 8, "
+              "degradation at 4; MC matches exact at a fraction of the "
+              "cost for large n.\n");
+  return 0;
+}

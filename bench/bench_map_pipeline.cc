@@ -1,0 +1,99 @@
+// Experiment C1 / F3: map-construction latency.
+//
+// The paper's claim: through sampling (a few thousand tuples per map) and
+// CLARA, Blaeu stays at interaction time regardless of table size. This
+// bench sweeps the LOFAR table size and compares:
+//   - sampled maps (sample_size = 2000, the paper's operating point)
+//   - unsampled maps (the whole selection is clustered)
+// The sampled latency should stay flat; the unsampled one grows.
+// google-benchmark binary: run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "core/map_builder.h"
+#include "workloads/lofar.h"
+
+using namespace blaeu;
+
+namespace {
+
+/// Cache of generated tables so each size is generated once.
+const workloads::Dataset& LofarCached(size_t rows) {
+  static std::map<size_t, workloads::Dataset>* cache =
+      new std::map<size_t, workloads::Dataset>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    workloads::LofarSpec spec;
+    spec.rows = rows;
+    it = cache->emplace(rows, workloads::MakeLofar(spec)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::string> FluxColumns(const monet::Table& table) {
+  std::vector<std::string> cols;
+  for (const auto& f : table.schema().fields()) {
+    if (f.name.rfind("flux_", 0) == 0 || f.name == "spectral_index") {
+      cols.push_back(f.name);
+    }
+  }
+  return cols;
+}
+
+void BM_MapSampled(benchmark::State& state) {
+  const auto& data = LofarCached(static_cast<size_t>(state.range(0)));
+  auto columns = FluxColumns(*data.table);
+  core::MapOptions opt;
+  opt.sample_size = 2000;  // paper operating point
+  opt.fixed_k = 4;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    auto map = core::BuildMap(
+        *data.table, monet::SelectionVector::All(data.table->num_rows()),
+        columns, opt);
+    if (!map.ok()) state.SkipWithError(map.status().ToString().c_str());
+    benchmark::DoNotOptimize(map);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+void BM_MapUnsampled(benchmark::State& state) {
+  const auto& data = LofarCached(static_cast<size_t>(state.range(0)));
+  auto columns = FluxColumns(*data.table);
+  core::MapOptions opt;
+  opt.sample_size = 0;  // cluster everything (CLARA beyond the threshold)
+  opt.fixed_k = 4;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    auto map = core::BuildMap(
+        *data.table, monet::SelectionVector::All(data.table->num_rows()),
+        columns, opt);
+    if (!map.ok()) state.SkipWithError(map.status().ToString().c_str());
+    benchmark::DoNotOptimize(map);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
+// The full pipeline stage split at the operating point: preprocessing vs
+// clustering vs description is visible via map metadata, so this reports
+// the end-to-end figure per table size.
+BENCHMARK(BM_MapSampled)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Arg(128000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK(BM_MapUnsampled)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation (DESIGN.md §5): categorical encoding and missing-value handling
+// in the preprocessing stage.
+//
+// The paper's pipeline dummy-codes categoricals and clusters with Euclidean
+// distance; the alternative kept in this repo is Gower distance on raw
+// mixed features (NaN-aware). This bench compares the two on mixed tables
+// with growing missingness: map accuracy (ARI vs planted clusters) and
+// latency.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/map_builder.h"
+#include "stats/metrics.h"
+#include "workloads/gaussian.h"
+
+using namespace blaeu;
+
+namespace {
+
+std::vector<int> MapPartition(const core::DataMap& map,
+                              const monet::Table& table) {
+  std::vector<int> labels(table.num_rows(), -1);
+  int next = 0;
+  for (int leaf : map.LeafIds()) {
+    auto rows = map.region(leaf).predicate.Evaluate(table);
+    if (!rows.ok()) continue;
+    for (uint32_t r : rows->rows()) labels[r] = next;
+    ++next;
+  }
+  return labels;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Blaeu bench: preprocessing ablation (dummy+Euclidean vs "
+              "Gower), mixed data with missing values\n\n");
+  std::printf("%10s %12s %14s %12s\n", "null_rate", "encoding",
+              "ari_vs_truth", "latency_ms");
+  for (double null_rate : {0.0, 0.1, 0.25}) {
+    workloads::MixtureSpec spec;
+    spec.rows = 1500;
+    spec.num_clusters = 3;
+    spec.dims = 4;
+    spec.separation = 7.0;
+    spec.null_rate = null_rate;
+    spec.with_categorical = true;
+    spec.seed = 11 + static_cast<uint64_t>(null_rate * 100);
+    auto data = workloads::MakeGaussianMixture(spec);
+
+    for (auto encoding : {core::CategoricalEncoding::kDummy,
+                          core::CategoricalEncoding::kGower}) {
+      core::MapOptions opt;
+      opt.sample_size = 1000;
+      opt.fixed_k = 3;
+      opt.preprocess.encoding = encoding;
+      Timer timer;
+      auto map = core::BuildMap(*data.table, opt);
+      double ms = timer.ElapsedMillis();
+      if (!map.ok()) {
+        std::printf("%10.2f %12s failed: %s\n", null_rate,
+                    encoding == core::CategoricalEncoding::kDummy ? "dummy"
+                                                                  : "gower",
+                    map.status().ToString().c_str());
+        continue;
+      }
+      std::vector<int> partition = MapPartition(*map, *data.table);
+      std::printf("%10.2f %12s %14.3f %12.1f\n", null_rate,
+                  encoding == core::CategoricalEncoding::kDummy ? "dummy"
+                                                                : "gower",
+                  stats::AdjustedRandIndex(partition,
+                                           data.truth.row_clusters),
+                  ms);
+    }
+  }
+  std::printf("\nExpected shape: both encodings recover the planted "
+              "clusters at low missingness; Gower degrades more slowly as "
+              "nulls grow (pairwise deletion vs mean imputation), at a "
+              "latency premium.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment C2: "Our experiments reveal that the loss of accuracy is
+// minimal" (paper §3, on sampling after each zoom).
+//
+// Protocol: cluster the FULL table once (reference partition), then build
+// maps from samples of growing size and measure (a) ARI of the map's leaf
+// partition against the reference, (b) ARI against the planted ground
+// truth, and (c) map latency. The accuracy column should plateau near the
+// full-data value well before the sample reaches the table.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/map_builder.h"
+#include "stats/metrics.h"
+#include "workloads/gaussian.h"
+#include "workloads/lofar.h"
+
+using namespace blaeu;
+
+namespace {
+
+/// Leaf-region partition of the whole table induced by a map.
+std::vector<int> MapPartition(const core::DataMap& map,
+                              const monet::Table& table) {
+  std::vector<int> labels(table.num_rows(), -1);
+  int next = 0;
+  for (int leaf : map.LeafIds()) {
+    auto rows = map.region(leaf).predicate.Evaluate(table);
+    if (!rows.ok()) continue;
+    for (uint32_t r : rows->rows()) labels[r] = next;
+    ++next;
+  }
+  return labels;
+}
+
+void Sweep(const char* name, const monet::Table& table,
+           const std::vector<int>& truth,
+           const std::vector<std::string>& columns, size_t fixed_k) {
+  std::printf("== C2 on %s (%zu rows): map accuracy vs sample size ==\n",
+              name, table.num_rows());
+
+  // Reference: the unsampled map (CLARA over the full selection).
+  core::MapOptions ref_opt;
+  ref_opt.sample_size = 0;
+  ref_opt.fixed_k = fixed_k;
+  Timer ref_timer;
+  auto ref_map = core::BuildMap(
+      *&table, monet::SelectionVector::All(table.num_rows()), columns,
+      ref_opt);
+  double ref_ms = ref_timer.ElapsedMillis();
+  if (!ref_map.ok()) {
+    std::printf("reference failed: %s\n",
+                ref_map.status().ToString().c_str());
+    return;
+  }
+  std::vector<int> reference = MapPartition(*ref_map, table);
+  std::printf("%12s %12s %14s %14s %12s\n", "sample", "latency_ms",
+              "ari_vs_full", "ari_vs_truth", "speedup");
+  std::printf("%12s %12.1f %14.3f %14.3f %12s\n", "full", ref_ms, 1.0,
+              stats::AdjustedRandIndex(reference, truth), "1.0x");
+
+  for (size_t sample : {250, 500, 1000, 2000, 4000}) {
+    if (sample >= table.num_rows()) break;
+    core::MapOptions opt;
+    opt.sample_size = sample;
+    opt.fixed_k = fixed_k;
+    opt.seed = 7 + sample;
+    Timer timer;
+    auto map = core::BuildMap(*&table,
+                              monet::SelectionVector::All(table.num_rows()),
+                              columns, opt);
+    double ms = timer.ElapsedMillis();
+    if (!map.ok()) continue;
+    std::vector<int> partition = MapPartition(*map, table);
+    std::printf("%12zu %12.1f %14.3f %14.3f %11.1fx\n", sample, ms,
+                stats::AdjustedRandIndex(partition, reference),
+                stats::AdjustedRandIndex(partition, truth), ref_ms / ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Blaeu bench: sampling accuracy (C2)\n\n");
+
+  {
+    workloads::MixtureSpec spec;
+    spec.rows = 20000;
+    spec.num_clusters = 4;
+    spec.dims = 5;
+    spec.separation = 7.0;
+    auto data = workloads::MakeGaussianMixture(spec);
+    std::vector<std::string> cols;
+    for (const auto& f : data.table->schema().fields()) {
+      cols.push_back(f.name);
+    }
+    Sweep("gaussian-4x20k", *data.table, data.truth.row_clusters, cols, 4);
+  }
+  {
+    workloads::LofarSpec spec;
+    spec.rows = 50000;
+    auto data = workloads::MakeLofar(spec);
+    std::vector<std::string> cols;
+    for (const auto& f : data.table->schema().fields()) {
+      if (f.name.rfind("flux_", 0) == 0 || f.name == "spectral_index") {
+        cols.push_back(f.name);
+      }
+    }
+    Sweep("lofar-50k", *data.table, data.truth.row_clusters, cols, 5);
+  }
+  return 0;
+}

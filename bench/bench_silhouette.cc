@@ -1,0 +1,84 @@
+// Experiment C3: the Monte-Carlo silhouette (paper §3: "it computes the
+// silhouette scores in a Monte-Carlo fashion: it extracts a few sub-samples
+// ... and averages the results").
+//
+// Reports latency of the exact O(n^2) silhouette vs the Monte-Carlo
+// estimator, with the absolute estimation error as a counter, across table
+// sizes and sub-sample budgets.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/silhouette.h"
+
+using namespace blaeu;
+
+namespace {
+
+struct Fixture {
+  stats::Matrix data;
+  std::vector<int> labels;
+  double exact = 0.0;  // reference value, computed once
+};
+
+const Fixture& BlobsCached(size_t n) {
+  static std::map<size_t, Fixture>* cache = new std::map<size_t, Fixture>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(n);
+    Fixture f;
+    f.data = stats::Matrix(n, 4);
+    f.labels.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      int c = static_cast<int>(i % 3);
+      f.labels[i] = c;
+      for (size_t d = 0; d < 4; ++d) {
+        f.data.At(i, d) = rng.NextGaussian(6.0 * c, 1.0);
+      }
+    }
+    f.exact = stats::MeanSilhouetteEuclidean(f.data, f.labels);
+    it = cache->emplace(n, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_ExactSilhouette(benchmark::State& state) {
+  const Fixture& f = BlobsCached(static_cast<size_t>(state.range(0)));
+  double value = 0;
+  for (auto _ : state) {
+    value = stats::MeanSilhouetteEuclidean(f.data, f.labels);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["silhouette"] = value;
+}
+
+void BM_MonteCarloSilhouette(benchmark::State& state) {
+  const Fixture& f = BlobsCached(static_cast<size_t>(state.range(0)));
+  stats::MonteCarloSilhouetteOptions opt;
+  opt.num_subsamples = static_cast<size_t>(state.range(1));
+  opt.subsample_size = 200;
+  double value = 0;
+  for (auto _ : state) {
+    opt.seed++;
+    value = stats::MonteCarloSilhouette(f.data, f.labels, opt);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["silhouette"] = value;
+  state.counters["abs_error"] = std::fabs(value - f.exact);
+}
+
+BENCHMARK(BM_ExactSilhouette)
+    ->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// (n, num_subsamples)
+BENCHMARK(BM_MonteCarloSilhouette)
+    ->Args({500, 5})->Args({1000, 5})->Args({2000, 5})->Args({4000, 5})
+    ->Args({4000, 2})->Args({4000, 10})
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Hollywood tour: the paper's first demo scenario (§4.2).
+//
+// "Which films are the most profitable? Which are those that fail? How do
+// critics and commercial success relate to each other?" — answered by
+// navigating the cluster map instead of writing SQL.
+//
+// Run:  ./hollywood_tour
+
+#include <cstdio>
+
+#include "core/navigation.h"
+#include "core/render.h"
+#include "monet/column_stats.h"
+#include "workloads/hollywood.h"
+
+using namespace blaeu;
+
+namespace {
+
+/// Leaf whose region has the highest mean of `column` over the current
+/// selection. Returns -1 when nothing qualifies.
+int LeafWithExtremeMean(const core::Session& session,
+                        const std::string& column, bool maximize) {
+  const core::DataMap& map = session.current().map;
+  int best = -1;
+  double best_mean = maximize ? -1e300 : 1e300;
+  for (int leaf : map.LeafIds()) {
+    auto highlight = session.Highlight(column);
+    if (!highlight.ok()) return -1;
+    for (const core::RegionHighlight& r : highlight->regions) {
+      if (r.region_id != leaf || r.tuple_count < 10) continue;
+      if ((maximize && r.stats.mean > best_mean) ||
+          (!maximize && r.stats.mean < best_mean)) {
+        best_mean = r.stats.mean;
+        best = leaf;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  auto data = workloads::MakeHollywood();
+  std::printf("Hollywood dataset: %zu movies, %zu columns (2007-2013)\n\n",
+              data.table->num_rows(), data.table->num_columns());
+
+  core::SessionOptions options;
+  options.map.sample_size = 900;
+  auto session = *core::Session::Start(data.table, "movies", options);
+
+  std::printf("%s\n", core::RenderThemeList(session.themes()).c_str());
+
+  // Find the money theme (budget/gross) and map it.
+  int money = -1;
+  for (const core::Theme& t : session.themes().themes) {
+    for (const std::string& name : t.names) {
+      if (name == "worldwide_gross_musd") money = t.id;
+    }
+  }
+  if (money >= 0) {
+    session.SelectTheme(static_cast<size_t>(money)).ok();
+  }
+  std::printf("=== Map over the money columns ===\n%s\n",
+              core::RenderMap(session.current().map).c_str());
+
+  // Q1: which films are the most profitable? Zoom into the region with the
+  // highest mean profitability and inspect it.
+  int profitable = LeafWithExtremeMean(session, "profitability", true);
+  if (profitable >= 0 && session.Zoom(profitable).ok()) {
+    std::printf("=== Most profitable region (zoomed) ===\n");
+    auto genres = session.Highlight("genre");
+    if (genres.ok()) {
+      std::printf("%s", core::RenderHighlight(*genres).c_str());
+    }
+    auto rows = session.Inspect(0, 5);
+    if (rows.ok()) {
+      std::printf("\nSample tuples:\n%s\n", (*rows)->ToString(5).c_str());
+    }
+    std::printf("Query: %s\n\n", session.CurrentQuery().ToSql().c_str());
+    session.Rollback().ok();
+  }
+
+  // Q2: which films fail? Lowest mean profitability region.
+  int flops = LeafWithExtremeMean(session, "profitability", false);
+  if (flops >= 0 && session.Zoom(flops).ok()) {
+    std::printf("=== Flop region (zoomed) ===\n");
+    auto studios = session.Highlight("studio");
+    if (studios.ok()) {
+      std::printf("%s", core::RenderHighlight(*studios).c_str());
+    }
+    std::printf("Query: %s\n\n", session.CurrentQuery().ToSql().c_str());
+    session.Rollback().ok();
+  }
+
+  // Q3: critics vs commercial success — project the whole table onto the
+  // reception theme and compare the money highlight across its regions.
+  int reception = -1;
+  for (const core::Theme& t : session.themes().themes) {
+    for (const std::string& name : t.names) {
+      if (name == "rt_critics") reception = t.id;
+    }
+  }
+  if (reception >= 0 && session.Project(static_cast<size_t>(reception)).ok()) {
+    std::printf("=== Map over the reception columns ===\n%s\n",
+                core::RenderMap(session.current().map).c_str());
+    auto gross = session.Highlight("worldwide_gross_musd");
+    if (gross.ok()) {
+      std::printf("How commercial success distributes across the critic "
+                  "clusters:\n%s\n",
+                  core::RenderHighlight(*gross).c_str());
+    }
+  }
+
+  std::printf("%s", core::RenderBreadcrumbs(session).c_str());
+  return 0;
+}

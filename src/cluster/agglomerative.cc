@@ -1,0 +1,138 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+namespace blaeu::cluster {
+
+using stats::DistanceMatrix;
+
+Result<std::vector<int>> Dendrogram::CutToK(size_t k) const {
+  if (k == 0 || k > num_leaves) {
+    return Status::Invalid("cannot cut dendrogram of " +
+                           std::to_string(num_leaves) + " leaves into " +
+                           std::to_string(k) + " clusters");
+  }
+  // Union-find over leaves, replaying all but the last k-1 merges.
+  std::vector<size_t> parent(num_leaves + merges.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const size_t keep = merges.size() + 1 - k;  // merges to replay
+  for (size_t i = 0; i < keep; ++i) {
+    size_t a = find(merges[i].left);
+    size_t b = find(merges[i].right);
+    size_t node = num_leaves + i;
+    parent[a] = node;
+    parent[b] = node;
+  }
+  std::vector<int> labels(num_leaves);
+  std::vector<int> renumber(num_leaves + merges.size(), -1);
+  int next = 0;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    size_t root = find(i);
+    if (renumber[root] < 0) renumber[root] = next++;
+    labels[i] = renumber[root];
+  }
+  return labels;
+}
+
+Result<Dendrogram> AgglomerativeCluster(const DistanceMatrix& dist,
+                                        Linkage linkage) {
+  const size_t n = dist.size();
+  if (n == 0) return Status::Invalid("empty distance matrix");
+  Dendrogram out;
+  out.num_leaves = n;
+  if (n == 1) return out;
+
+  // active clusters: node id, member count, and a working distance matrix
+  // (dense n x n, updated in place; slot i holds the current cluster that
+  // started at leaf i, dead slots are skipped).
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) d[i][j] = dist.At(i, j);
+  }
+  std::vector<bool> alive(n, true);
+  std::vector<size_t> node_id(n), size(n, 1);
+  std::iota(node_id.begin(), node_id.end(), 0);
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (d[i][j] < best) {
+          best = d[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    out.merges.push_back({node_id[bi], node_id[bj], best});
+    // Merge bj into bi with Lance-Williams updates.
+    for (size_t x = 0; x < n; ++x) {
+      if (!alive[x] || x == bi || x == bj) continue;
+      double dix = d[bi][x], djx = d[bj][x];
+      double merged;
+      switch (linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dix, djx);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dix, djx);
+          break;
+        case Linkage::kAverage: {
+          double si = static_cast<double>(size[bi]);
+          double sj = static_cast<double>(size[bj]);
+          merged = (si * dix + sj * djx) / (si + sj);
+          break;
+        }
+      }
+      d[bi][x] = d[x][bi] = merged;
+    }
+    size[bi] += size[bj];
+    alive[bj] = false;
+    node_id[bi] = n + step;
+  }
+  return out;
+}
+
+Result<ClusteringResult> AgglomerativeToK(const DistanceMatrix& dist,
+                                          Linkage linkage, size_t k) {
+  BLAEU_ASSIGN_OR_RETURN(Dendrogram dendro, AgglomerativeCluster(dist, linkage));
+  BLAEU_ASSIGN_OR_RETURN(std::vector<int> labels, dendro.CutToK(k));
+  ClusteringResult out;
+  out.labels = labels;
+  // Medoid of each cluster: minimal summed within-cluster distance.
+  out.medoids.assign(k, 0);
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  const size_t n = dist.size();
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (labels[j] == labels[i]) sum += dist.At(i, j);
+    }
+    size_t c = static_cast<size_t>(labels[i]);
+    if (sum < best[c]) {
+      best[c] = sum;
+      out.medoids[c] = i;
+    }
+  }
+  out.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    out.total_cost += dist.At(i, out.medoids[labels[i]]);
+  }
+  return out;
+}
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,46 @@
+// Agglomerative hierarchical clustering (Lance-Williams updates). Baseline
+// comparator for PAM and an alternative map detector for arbitrarily shaped
+// clusters (single linkage chains).
+#pragma once
+
+#include "common/status.h"
+#include "cluster/clustering.h"
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+/// Linkage criteria.
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// \brief One merge step of the dendrogram.
+///
+/// Nodes 0..n-1 are leaves; merge i creates node n+i from `left` and
+/// `right` at the given `height`.
+struct MergeStep {
+  size_t left;
+  size_t right;
+  double height;
+};
+
+/// \brief Full dendrogram.
+struct Dendrogram {
+  size_t num_leaves = 0;
+  std::vector<MergeStep> merges;  ///< size num_leaves - 1
+
+  /// Flat labels obtained by cutting into exactly `k` clusters (undoing the
+  /// last k-1 merges). Labels are renumbered 0..k-1 by first occurrence.
+  Result<std::vector<int>> CutToK(size_t k) const;
+};
+
+/// Builds the dendrogram over a distance matrix. O(n^3) naive
+/// implementation; adequate for sampled inputs.
+Result<Dendrogram> AgglomerativeCluster(const stats::DistanceMatrix& dist,
+                                        Linkage linkage);
+
+/// Convenience: dendrogram cut to `k` clusters as a ClusteringResult (the
+/// medoid of each cluster is its point with minimal within-cluster distance
+/// sum).
+Result<ClusteringResult> AgglomerativeToK(const stats::DistanceMatrix& dist,
+                                          Linkage linkage, size_t k);
+
+}  // namespace blaeu::cluster

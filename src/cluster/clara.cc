@@ -1,0 +1,51 @@
+#include "cluster/clara.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/pam.h"
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+Result<ClusteringResult> Clara(size_t n, const RowDistanceFn& dist_fn,
+                               size_t k, const ClaraOptions& options) {
+  if (k == 0) return Status::Invalid("k must be >= 1");
+  if (k > n) {
+    return Status::Invalid("k = " + std::to_string(k) + " exceeds n = " +
+                           std::to_string(n));
+  }
+  size_t sample_size =
+      options.sample_size > 0 ? options.sample_size : 40 + 2 * k;
+  sample_size = std::min(sample_size, n);
+  if (sample_size < k) sample_size = k;
+
+  Rng rng(options.seed);
+  PamOptions pam_options;
+  pam_options.max_swap_iterations = options.max_swap_iterations;
+
+  ClusteringResult best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+
+  for (size_t s = 0; s < options.num_samples; ++s) {
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(n, sample_size);
+    std::sort(sample.begin(), sample.end());
+    // Distance matrix restricted to the sample.
+    stats::DistanceMatrix dist(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+      for (size_t j = i + 1; j < sample.size(); ++j) {
+        dist.Set(i, j, dist_fn(sample[i], sample[j]));
+      }
+    }
+    BLAEU_ASSIGN_OR_RETURN(ClusteringResult local, Pam(dist, k, pam_options));
+    // Lift sample-local medoids to global indices and extend to all points.
+    std::vector<size_t> medoids;
+    medoids.reserve(k);
+    for (size_t m : local.medoids) medoids.push_back(sample[m]);
+    ClusteringResult extended = AssignToMedoids(n, medoids, dist_fn);
+    if (extended.total_cost < best.total_cost) best = std::move(extended);
+  }
+  return best;
+}
+
+}  // namespace blaeu::cluster

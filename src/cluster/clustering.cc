@@ -1,0 +1,17 @@
+#include "cluster/clustering.h"
+
+#include <algorithm>
+
+namespace blaeu::cluster {
+
+std::vector<size_t> ClusterSizes(const std::vector<int>& labels) {
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  std::vector<size_t> sizes(k, 0);
+  for (int l : labels) {
+    if (l >= 0) ++sizes[l];
+  }
+  return sizes;
+}
+
+}  // namespace blaeu::cluster

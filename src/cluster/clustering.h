@@ -1,0 +1,29 @@
+// Shared clustering result type and distance-oracle aliases.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace blaeu::cluster {
+
+/// Distance between two points identified by index.
+using RowDistanceFn = std::function<double(size_t, size_t)>;
+
+/// \brief Output of a partitional clustering run.
+struct ClusteringResult {
+  /// Cluster id per point, in [0, k).
+  std::vector<int> labels;
+  /// Representative point per cluster (medoid index for PAM/CLARA; the
+  /// nearest point to the centroid for k-means).
+  std::vector<size_t> medoids;
+  /// Objective value: sum over points of distance to their representative.
+  double total_cost = 0.0;
+  /// Realized number of clusters.
+  size_t num_clusters() const { return medoids.size(); }
+};
+
+/// Sizes of each cluster in `labels` (k inferred as max label + 1).
+std::vector<size_t> ClusterSizes(const std::vector<int>& labels);
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,106 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+#include <limits>
+
+namespace blaeu::cluster {
+
+using stats::DistanceMatrix;
+
+Result<DbscanResult> Dbscan(const DistanceMatrix& dist,
+                            const DbscanOptions& options) {
+  if (options.eps <= 0) return Status::Invalid("eps must be > 0");
+  if (options.min_points == 0) {
+    return Status::Invalid("min_points must be >= 1");
+  }
+  const size_t n = dist.size();
+  constexpr int kUnvisited = -2, kNoise = -1;
+  DbscanResult out;
+  out.labels.assign(n, kUnvisited);
+
+  auto neighbors = [&](size_t p) {
+    std::vector<size_t> out_nb;
+    for (size_t q = 0; q < n; ++q) {
+      if (dist.At(p, q) <= options.eps) out_nb.push_back(q);  // includes p
+    }
+    return out_nb;
+  };
+
+  int cluster = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (out.labels[p] != kUnvisited) continue;
+    std::vector<size_t> nb = neighbors(p);
+    if (nb.size() < options.min_points) {
+      out.labels[p] = kNoise;
+      continue;
+    }
+    out.labels[p] = cluster;
+    std::deque<size_t> frontier(nb.begin(), nb.end());
+    while (!frontier.empty()) {
+      size_t q = frontier.front();
+      frontier.pop_front();
+      if (out.labels[q] == kNoise) out.labels[q] = cluster;  // border point
+      if (out.labels[q] != kUnvisited) continue;
+      out.labels[q] = cluster;
+      std::vector<size_t> qnb = neighbors(q);
+      if (qnb.size() >= options.min_points) {
+        frontier.insert(frontier.end(), qnb.begin(), qnb.end());
+      }
+    }
+    ++cluster;
+  }
+  out.num_clusters = static_cast<size_t>(cluster);
+  for (int l : out.labels) {
+    if (l == kNoise) ++out.num_noise;
+  }
+  return out;
+}
+
+ClusteringResult DbscanToClustering(const DbscanResult& result,
+                                    const DistanceMatrix& dist) {
+  const size_t n = result.labels.size();
+  ClusteringResult out;
+  out.labels = result.labels;
+  if (result.num_clusters == 0) {
+    // Degenerate: everything is noise; one catch-all cluster.
+    out.labels.assign(n, 0);
+    out.medoids = {0};
+    return out;
+  }
+  // Attach noise to the cluster of the nearest clustered point.
+  for (size_t i = 0; i < n; ++i) {
+    if (out.labels[i] >= 0) continue;
+    double best = std::numeric_limits<double>::infinity();
+    int best_label = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (result.labels[j] < 0) continue;
+      if (dist.At(i, j) < best) {
+        best = dist.At(i, j);
+        best_label = result.labels[j];
+      }
+    }
+    out.labels[i] = best_label;
+  }
+  // Medoids: minimal summed within-cluster distance.
+  out.medoids.assign(result.num_clusters, 0);
+  std::vector<double> best(result.num_clusters,
+                           std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (out.labels[j] == out.labels[i]) sum += dist.At(i, j);
+    }
+    size_t c = static_cast<size_t>(out.labels[i]);
+    if (sum < best[c]) {
+      best[c] = sum;
+      out.medoids[c] = i;
+    }
+  }
+  out.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    out.total_cost += dist.At(i, out.medoids[out.labels[i]]);
+  }
+  return out;
+}
+
+}  // namespace blaeu::cluster

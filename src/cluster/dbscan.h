@@ -1,0 +1,37 @@
+// DBSCAN (density-based clustering). Blaeu's pipeline decouples cluster
+// *detection* from cluster *description* precisely so that "arbitrarily
+// sophisticated cluster detection algorithms" can slot in (paper §3);
+// DBSCAN is the canonical arbitrary-shape detector and plugs into the same
+// map-description stage as PAM.
+#pragma once
+
+#include "common/status.h"
+#include "cluster/clustering.h"
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+/// DBSCAN options.
+struct DbscanOptions {
+  double eps = 0.5;       ///< neighborhood radius
+  size_t min_points = 5;  ///< core-point density threshold (incl. self)
+};
+
+/// \brief DBSCAN result: labels in [0, k) plus -1 for noise points.
+struct DbscanResult {
+  std::vector<int> labels;
+  size_t num_clusters = 0;
+  size_t num_noise = 0;
+};
+
+/// Runs DBSCAN over a precomputed distance matrix (O(n^2)).
+Result<DbscanResult> Dbscan(const stats::DistanceMatrix& dist,
+                            const DbscanOptions& options);
+
+/// Converts a DBSCAN result to the shared ClusteringResult shape: noise
+/// points are attached to the nearest cluster's nearest member (maps must
+/// cover every tuple), and per-cluster medoids are computed.
+ClusteringResult DbscanToClustering(const DbscanResult& result,
+                                    const stats::DistanceMatrix& dist);
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,130 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+using stats::Matrix;
+
+Result<KMeansResult> KMeans(const Matrix& data, size_t k,
+                            const KMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t dims = data.cols();
+  if (k == 0) return Status::Invalid("k must be >= 1");
+  if (k > n) {
+    return Status::Invalid("k = " + std::to_string(k) + " exceeds n = " +
+                           std::to_string(n));
+  }
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  Matrix centroids(k, dims);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  size_t first = rng.NextBounded(n);
+  std::copy(data.RowPtr(first), data.RowPtr(first) + dims,
+            centroids.MutableRowPtr(0));
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double d = stats::SquaredEuclideanDistance(
+          data.RowPtr(i), centroids.RowPtr(c - 1), dims);
+      min_sq[i] = std::min(min_sq[i], d);
+    }
+    double total = 0.0;
+    for (double d : min_sq) total += d;
+    size_t pick;
+    if (total <= 0) {
+      pick = rng.NextBounded(n);  // all points coincide with a centroid
+    } else {
+      double r = rng.NextDouble() * total;
+      double acc = 0.0;
+      pick = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_sq[i];
+        if (r < acc) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    std::copy(data.RowPtr(pick), data.RowPtr(pick) + dims,
+              centroids.MutableRowPtr(c));
+  }
+
+  std::vector<int> labels(n, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  double inertia = prev_inertia;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = stats::SquaredEuclideanDistance(data.RowPtr(i),
+                                                   centroids.RowPtr(c), dims);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      labels[i] = best_c;
+      inertia += best;
+    }
+    // Update step.
+    Matrix sums(k, dims);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      double* srow = sums.MutableRowPtr(labels[i]);
+      const double* drow = data.RowPtr(i);
+      for (size_t f = 0; f < dims; ++f) srow[f] += drow[f];
+      ++counts[labels[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        size_t pick = rng.NextBounded(n);
+        std::copy(data.RowPtr(pick), data.RowPtr(pick) + dims,
+                  centroids.MutableRowPtr(c));
+        continue;
+      }
+      double* crow = centroids.MutableRowPtr(c);
+      const double* srow = sums.RowPtr(c);
+      for (size_t f = 0; f < dims; ++f) {
+        crow[f] = srow[f] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - inertia <
+        options.tolerance * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  KMeansResult out;
+  out.centroids = centroids;
+  out.inertia = inertia;
+  out.assignment.labels = labels;
+  out.assignment.total_cost = 0.0;
+  // Nearest real point to each centroid, for medoid-style reporting.
+  out.assignment.medoids.assign(k, 0);
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    size_t c = static_cast<size_t>(labels[i]);
+    double d = stats::SquaredEuclideanDistance(data.RowPtr(i),
+                                               centroids.RowPtr(c), dims);
+    if (d < best[c]) {
+      best[c] = d;
+      out.assignment.medoids[c] = i;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out.assignment.total_cost += stats::EuclideanDistance(
+        data.RowPtr(i), data.RowPtr(out.assignment.medoids[labels[i]]), dims);
+  }
+  return out;
+}
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,34 @@
+// Lloyd's k-means with k-means++ seeding. Not used by Blaeu's pipeline
+// itself (PAM is), but kept as the ablation baseline for
+// bench_clara_vs_pam: it shows what the paper gave up (medoid
+// interpretability, arbitrary metrics) and gained (accuracy on mixed data).
+#pragma once
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "cluster/clustering.h"
+#include "stats/matrix.h"
+
+namespace blaeu::cluster {
+
+/// k-means options.
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Relative improvement in inertia below which iteration stops.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+/// \brief k-means output: labels plus centroids (and the nearest actual
+/// point to each centroid in `medoids`, for API parity with PAM).
+struct KMeansResult {
+  ClusteringResult assignment;
+  stats::Matrix centroids;  ///< k x dims
+  double inertia = 0.0;     ///< sum of squared distances to centroids
+};
+
+/// Runs k-means on row-vectors of `data`. Invalid when k == 0 or k > rows.
+Result<KMeansResult> KMeans(const stats::Matrix& data, size_t k,
+                            const KMeansOptions& options = {});
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,56 @@
+#include "cluster/kselect.h"
+
+#include <algorithm>
+
+#include "cluster/pam.h"
+
+namespace blaeu::cluster {
+
+using stats::DistanceMatrix;
+
+Result<KSelectResult> SelectK(const DistanceMatrix& dist,
+                              const ClusterFn& cluster_fn,
+                              const KSelectOptions& options) {
+  const size_t n = dist.size();
+  if (n < 2) return Status::Invalid("need at least 2 points to select k");
+  size_t k_min = std::max<size_t>(2, options.k_min);
+  size_t k_max = std::min(options.k_max, n - 1);
+  if (k_min > k_max) {
+    return Status::Invalid("empty k range after clamping");
+  }
+  KSelectResult out;
+  out.best_score = -2.0;  // silhouettes live in [-1, 1]
+  for (size_t k = k_min; k <= k_max; ++k) {
+    BLAEU_ASSIGN_OR_RETURN(ClusteringResult r, cluster_fn(k));
+    std::vector<size_t> sizes = ClusterSizes(r.labels);
+    bool degenerate =
+        sizes.size() != k ||
+        std::any_of(sizes.begin(), sizes.end(),
+                    [](size_t s) { return s == 0; });
+    double score;
+    if (degenerate) {
+      score = -1.0;
+    } else if (options.monte_carlo) {
+      score = stats::MonteCarloSilhouette(
+          n, r.labels, [&](size_t i, size_t j) { return dist.At(i, j); },
+          options.mc_options);
+    } else {
+      score = stats::MeanSilhouette(dist, r.labels);
+    }
+    out.scores.push_back(score);
+    if (score > out.best_score) {
+      out.best_score = score;
+      out.best_k = k;
+      out.best = std::move(r);
+    }
+  }
+  return out;
+}
+
+Result<KSelectResult> SelectKWithPam(const DistanceMatrix& dist,
+                                     const KSelectOptions& options) {
+  return SelectK(
+      dist, [&](size_t k) { return Pam(dist, k); }, options);
+}
+
+}  // namespace blaeu::cluster

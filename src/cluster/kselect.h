@@ -1,0 +1,48 @@
+// Silhouette-driven choice of the number of clusters k: "we generate
+// several partitionings with different numbers of clusters, and keep the
+// one with the best score" (paper §3).
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "cluster/clustering.h"
+#include "stats/distance.h"
+#include "stats/silhouette.h"
+
+namespace blaeu::cluster {
+
+/// Options for the k sweep.
+struct KSelectOptions {
+  size_t k_min = 2;
+  size_t k_max = 8;
+  /// When true, score each candidate with the Monte-Carlo silhouette
+  /// instead of the exact one.
+  bool monte_carlo = false;
+  stats::MonteCarloSilhouetteOptions mc_options;
+};
+
+/// \brief Outcome of the sweep.
+struct KSelectResult {
+  size_t best_k = 0;
+  double best_score = 0.0;
+  ClusteringResult best;
+  /// score[i] is the mean silhouette at k = k_min + i.
+  std::vector<double> scores;
+};
+
+/// Clusterer under test: produces a partition for a given k.
+using ClusterFn = std::function<Result<ClusteringResult>(size_t k)>;
+
+/// Sweeps k in [k_min, min(k_max, n-1)], scoring each partition by mean
+/// silhouette under `dist`, and returns the best. Candidates whose realized
+/// partition degenerates (empty clusters) score -1.
+Result<KSelectResult> SelectK(const stats::DistanceMatrix& dist,
+                              const ClusterFn& cluster_fn,
+                              const KSelectOptions& options = {});
+
+/// Convenience: SelectK with PAM as the clusterer.
+Result<KSelectResult> SelectKWithPam(const stats::DistanceMatrix& dist,
+                                     const KSelectOptions& options = {});
+
+}  // namespace blaeu::cluster

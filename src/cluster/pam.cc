@@ -1,0 +1,283 @@
+#include "cluster/pam.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace blaeu::cluster {
+
+using stats::DistanceMatrix;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Labels + cost for a fixed medoid set over a distance matrix.
+ClusteringResult AssignFromMatrix(const DistanceMatrix& dist,
+                                  const std::vector<size_t>& medoids) {
+  const size_t n = dist.size();
+  ClusteringResult out;
+  out.medoids = medoids;
+  out.labels.assign(n, 0);
+  out.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best = kInf;
+    int best_m = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      double d = dist.At(i, medoids[m]);
+      if (d < best) {
+        best = d;
+        best_m = static_cast<int>(m);
+      }
+    }
+    out.labels[i] = best_m;
+    out.total_cost += best;
+  }
+  return out;
+}
+
+/// BUILD phase: greedy seeding of k medoids.
+std::vector<size_t> PamBuild(const DistanceMatrix& dist, size_t k) {
+  const size_t n = dist.size();
+  std::vector<size_t> medoids;
+  std::vector<bool> is_medoid(n, false);
+
+  // First medoid: minimal total distance to all points.
+  size_t best_first = 0;
+  double best_total = kInf;
+  for (size_t c = 0; c < n; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += dist.At(c, i);
+    if (total < best_total) {
+      best_total = total;
+      best_first = c;
+    }
+  }
+  medoids.push_back(best_first);
+  is_medoid[best_first] = true;
+
+  // nearest[i]: distance from i to its closest chosen medoid.
+  std::vector<double> nearest(n);
+  for (size_t i = 0; i < n; ++i) nearest[i] = dist.At(i, best_first);
+
+  while (medoids.size() < k) {
+    size_t best_c = 0;
+    double best_gain = -kInf;
+    for (size_t c = 0; c < n; ++c) {
+      if (is_medoid[c]) continue;
+      double gain = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double improvement = nearest[i] - dist.At(c, i);
+        if (improvement > 0) gain += improvement;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_c = c;
+      }
+    }
+    medoids.push_back(best_c);
+    is_medoid[best_c] = true;
+    for (size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], dist.At(i, best_c));
+    }
+  }
+  return medoids;
+}
+
+}  // namespace
+
+ClusteringResult AssignToMedoids(size_t n, const std::vector<size_t>& medoids,
+                                 const RowDistanceFn& dist_fn) {
+  ClusteringResult out;
+  out.medoids = medoids;
+  out.labels.assign(n, 0);
+  out.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double best = kInf;
+    int best_m = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      double d = dist_fn(i, medoids[m]);
+      if (d < best) {
+        best = d;
+        best_m = static_cast<int>(m);
+      }
+    }
+    out.labels[i] = best_m;
+    out.total_cost += best;
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared driver for the SWAP phase. `find_best_swap` must fill
+/// (best_delta, best_m, best_c) given the neighbor caches; the two
+/// implementations differ only in how they scan candidates.
+template <typename FindBestSwap>
+Result<ClusteringResult> PamImpl(const DistanceMatrix& dist, size_t k,
+                                 const PamOptions& options,
+                                 FindBestSwap&& find_best_swap) {
+  const size_t n = dist.size();
+  if (k == 0) return Status::Invalid("k must be >= 1");
+  if (k > n) {
+    return Status::Invalid("k = " + std::to_string(k) + " exceeds n = " +
+                           std::to_string(n));
+  }
+  std::vector<size_t> medoids = PamBuild(dist, k);
+  std::vector<bool> is_medoid(n, false);
+  for (size_t m : medoids) is_medoid[m] = true;
+
+  std::vector<double> nearest(n), second(n);
+  std::vector<size_t> nearest_idx(n);
+  auto recompute_neighbors = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double d1 = kInf, d2 = kInf;
+      size_t m1 = 0;
+      for (size_t m = 0; m < medoids.size(); ++m) {
+        double d = dist.At(i, medoids[m]);
+        if (d < d1) {
+          d2 = d1;
+          d1 = d;
+          m1 = m;
+        } else if (d < d2) {
+          d2 = d;
+        }
+      }
+      nearest[i] = d1;
+      second[i] = d2;
+      nearest_idx[i] = m1;
+    }
+  };
+  recompute_neighbors();
+
+  for (size_t iter = 0; iter < options.max_swap_iterations; ++iter) {
+    double best_delta = -1e-12;
+    size_t best_m = 0, best_c = 0;
+    find_best_swap(medoids, is_medoid, nearest, second, nearest_idx,
+                   &best_delta, &best_m, &best_c);
+    if (best_delta >= -1e-12) break;
+    is_medoid[medoids[best_m]] = false;
+    medoids[best_m] = best_c;
+    is_medoid[best_c] = true;
+    recompute_neighbors();
+  }
+  std::sort(medoids.begin(), medoids.end());
+  return AssignFromMatrix(dist, medoids);
+}
+
+}  // namespace
+
+Result<ClusteringResult> Pam(const DistanceMatrix& dist, size_t k,
+                             const PamOptions& options) {
+  const size_t n = dist.size();
+  // FastPAM1: for each candidate c, one O(n) pass yields the swap delta
+  // for every medoid simultaneously.
+  return PamImpl(
+      dist, k, options,
+      [&](const std::vector<size_t>& medoids,
+          const std::vector<bool>& is_medoid,
+          const std::vector<double>& nearest,
+          const std::vector<double>& second,
+          const std::vector<size_t>& nearest_idx, double* best_delta,
+          size_t* best_m, size_t* best_c) {
+        std::vector<double> delta(medoids.size());
+        for (size_t c = 0; c < n; ++c) {
+          if (is_medoid[c]) continue;
+          double shared = 0.0;  // gain applying to every medoid removal
+          std::fill(delta.begin(), delta.end(), 0.0);
+          for (size_t o = 0; o < n; ++o) {
+            double d_oc = dist.At(o, c);
+            // Removal of a medoid other than o's: o moves to c only if
+            // closer than its current medoid.
+            double g = d_oc < nearest[o] ? d_oc - nearest[o] : 0.0;
+            shared += g;
+            // Removal of o's own medoid: o goes to min(c, second choice);
+            // replace the shared term with the exact one.
+            delta[nearest_idx[o]] +=
+                (std::min(d_oc, second[o]) - nearest[o]) - g;
+          }
+          for (size_t m = 0; m < medoids.size(); ++m) {
+            double total = shared + delta[m];
+            if (total < *best_delta) {
+              *best_delta = total;
+              *best_m = m;
+              *best_c = c;
+            }
+          }
+        }
+      });
+}
+
+Result<ClusteringResult> PamNaive(const DistanceMatrix& dist, size_t k,
+                                  const PamOptions& options) {
+  const size_t n = dist.size();
+  if (k == 0) return Status::Invalid("k must be >= 1");
+  if (k > n) {
+    return Status::Invalid("k = " + std::to_string(k) + " exceeds n = " +
+                           std::to_string(n));
+  }
+  std::vector<size_t> medoids = PamBuild(dist, k);
+  std::vector<bool> is_medoid(n, false);
+  for (size_t m : medoids) is_medoid[m] = true;
+
+  // SWAP phase. nearest/second: distances from each point to its closest
+  // and second-closest medoid, so swap deltas evaluate in O(1) per point.
+  std::vector<double> nearest(n), second(n);
+  std::vector<size_t> nearest_idx(n);  // index into medoids
+  auto recompute_neighbors = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      double d1 = kInf, d2 = kInf;
+      size_t m1 = 0;
+      for (size_t m = 0; m < medoids.size(); ++m) {
+        double d = dist.At(i, medoids[m]);
+        if (d < d1) {
+          d2 = d1;
+          d1 = d;
+          m1 = m;
+        } else if (d < d2) {
+          d2 = d;
+        }
+      }
+      nearest[i] = d1;
+      second[i] = d2;
+      nearest_idx[i] = m1;
+    }
+  };
+  recompute_neighbors();
+
+  for (size_t iter = 0; iter < options.max_swap_iterations; ++iter) {
+    double best_delta = -1e-12;  // strictly improving swaps only
+    size_t best_m = 0, best_c = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      for (size_t c = 0; c < n; ++c) {
+        if (is_medoid[c]) continue;
+        // Cost change of replacing medoids[m] by c.
+        double delta = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d_ic = dist.At(i, c);
+          if (nearest_idx[i] == m) {
+            // Point loses its medoid: moves to c or to its second choice.
+            delta += std::min(d_ic, second[i]) - nearest[i];
+          } else if (d_ic < nearest[i]) {
+            delta += d_ic - nearest[i];
+          }
+        }
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_m = m;
+          best_c = c;
+        }
+      }
+    }
+    if (best_delta >= -1e-12) break;  // local optimum
+    is_medoid[medoids[best_m]] = false;
+    medoids[best_m] = best_c;
+    is_medoid[best_c] = true;
+    recompute_neighbors();
+  }
+
+  // Canonical order: medoids sorted by index so labels are deterministic.
+  std::sort(medoids.begin(), medoids.end());
+  return AssignFromMatrix(dist, medoids);
+}
+
+}  // namespace blaeu::cluster

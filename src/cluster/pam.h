@@ -1,0 +1,44 @@
+// Partitioning Around Medoids (Kaufman & Rousseeuw 1990), the clustering
+// algorithm Blaeu uses for both themes and maps: "We chose Partitioning
+// Around Medoids (PAM) because it is accurate, well established and fast
+// enough" (paper §3).
+#pragma once
+
+#include "common/status.h"
+#include "cluster/clustering.h"
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+/// PAM options.
+struct PamOptions {
+  /// Cap on SWAP passes; each pass scans all (medoid, non-medoid) pairs.
+  size_t max_swap_iterations = 50;
+};
+
+/// \brief Exact PAM on a precomputed distance matrix.
+///
+/// BUILD greedily seeds k medoids (first: the point with minimal total
+/// distance; then: maximal aggregate cost reduction). SWAP repeatedly
+/// applies the single best (medoid, candidate) exchange until no exchange
+/// lowers the objective, using the FastPAM1 delta computation (Schubert &
+/// Rousseeuw 2019): the swap deltas for all k medoids against one
+/// candidate come out of a single O(n) pass, so a SWAP pass costs O(n^2)
+/// instead of O(k n^2) while choosing exactly the same swaps.
+///
+/// Invalid when k == 0 or k > n.
+Result<ClusteringResult> Pam(const stats::DistanceMatrix& dist, size_t k,
+                             const PamOptions& options = {});
+
+/// Reference implementation with the textbook O(k(n-k)^2) SWAP pass.
+/// Chooses the same swap sequence as Pam(); kept for equivalence testing
+/// and as documentation of the classic algorithm.
+Result<ClusteringResult> PamNaive(const stats::DistanceMatrix& dist, size_t k,
+                                  const PamOptions& options = {});
+
+/// Assigns each of `n` points to its nearest medoid under `dist_fn`;
+/// returns labels (index into `medoids`) and the summed cost.
+ClusteringResult AssignToMedoids(size_t n, const std::vector<size_t>& medoids,
+                                 const RowDistanceFn& dist_fn);
+
+}  // namespace blaeu::cluster

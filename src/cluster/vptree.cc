@@ -1,0 +1,163 @@
+#include "cluster/vptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+
+VpTree::VpTree(const stats::Matrix& data, uint64_t seed) : data_(&data) {
+  std::vector<size_t> items(data.rows());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  nodes_.reserve(items.size());
+  Rng rng(seed);
+  root_ = Build(&items, 0, items.size(), &rng);
+}
+
+double VpTree::Distance(size_t a, size_t b) const {
+  return stats::EuclideanDistance(data_->RowPtr(a), data_->RowPtr(b),
+                                  data_->cols());
+}
+
+int VpTree::Build(std::vector<size_t>* items, size_t begin, size_t end,
+                  Rng* rng) {
+  if (begin >= end) return -1;
+  // Random vantage point keeps the tree balanced in expectation.
+  size_t pick = begin + rng->NextBounded(end - begin);
+  std::swap((*items)[begin], (*items)[pick]);
+  size_t vantage = (*items)[begin];
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{vantage, 0.0, -1, -1});
+  if (end - begin == 1) return node_index;
+
+  // Partition the rest by the median distance to the vantage point.
+  size_t mid = begin + 1 + (end - begin - 1) / 2;
+  std::nth_element(items->begin() + begin + 1, items->begin() + mid,
+                   items->begin() + end, [&](size_t a, size_t b) {
+                     return Distance(vantage, a) < Distance(vantage, b);
+                   });
+  double threshold = Distance(vantage, (*items)[mid]);
+  nodes_[node_index].threshold = threshold;
+  int inside = Build(items, begin + 1, mid + 1, rng);
+  int outside = Build(items, mid + 1, end, rng);
+  nodes_[node_index].inside = inside;
+  nodes_[node_index].outside = outside;
+  return node_index;
+}
+
+void VpTree::SearchRadius(int node, size_t query, double radius,
+                          std::vector<size_t>* out) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  double d = Distance(query, n.point);
+  if (d <= radius) out->push_back(n.point);
+  // Triangle-inequality pruning.
+  if (d - radius <= n.threshold) {
+    SearchRadius(n.inside, query, radius, out);
+  }
+  if (d + radius >= n.threshold) {
+    SearchRadius(n.outside, query, radius, out);
+  }
+}
+
+std::vector<size_t> VpTree::RadiusQuery(size_t query, double radius) const {
+  std::vector<size_t> out;
+  SearchRadius(root_, query, radius, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void VpTree::SearchKnn(int node, size_t query, size_t k,
+                       std::vector<std::pair<double, size_t>>* heap) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  double d = Distance(query, n.point);
+  double worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                  : heap->front().first;
+  if (d < worst || heap->size() < k) {
+    heap->emplace_back(d, n.point);
+    std::push_heap(heap->begin(), heap->end());
+    if (heap->size() > k) {
+      std::pop_heap(heap->begin(), heap->end());
+      heap->pop_back();
+    }
+    worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                             : heap->front().first;
+  }
+  // Visit the nearer side first for better pruning.
+  bool inside_first = d <= n.threshold;
+  for (int pass = 0; pass < 2; ++pass) {
+    bool go_inside = (pass == 0) == inside_first;
+    worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                             : heap->front().first;
+    if (go_inside) {
+      if (d - worst <= n.threshold) SearchKnn(n.inside, query, k, heap);
+    } else {
+      if (d + worst >= n.threshold) SearchKnn(n.outside, query, k, heap);
+    }
+  }
+}
+
+std::vector<size_t> VpTree::KnnQuery(size_t query, size_t k) const {
+  std::vector<std::pair<double, size_t>> heap;
+  heap.reserve(k + 1);
+  SearchKnn(root_, query, k, &heap);
+  std::sort(heap.begin(), heap.end());
+  std::vector<size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d, id] : heap) out.push_back(id);
+  return out;
+}
+
+double VpTree::KnnDistance(size_t query, size_t k) const {
+  assert(k >= 1);
+  std::vector<std::pair<double, size_t>> heap;
+  heap.reserve(k + 1);
+  SearchKnn(root_, query, k, &heap);
+  std::sort(heap.begin(), heap.end());
+  if (heap.empty()) return 0.0;
+  return heap[std::min(k, heap.size()) - 1].first;
+}
+
+IndexedDbscanResult DbscanIndexed(const stats::Matrix& data, double eps,
+                                  size_t min_points, uint64_t seed) {
+  const size_t n = data.rows();
+  VpTree tree(data, seed);
+  constexpr int kUnvisited = -2, kNoise = -1;
+  IndexedDbscanResult out;
+  out.labels.assign(n, kUnvisited);
+  int cluster = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (out.labels[p] != kUnvisited) continue;
+    std::vector<size_t> nb = tree.RadiusQuery(p, eps);
+    if (nb.size() < min_points) {
+      out.labels[p] = kNoise;
+      continue;
+    }
+    out.labels[p] = cluster;
+    std::deque<size_t> frontier(nb.begin(), nb.end());
+    while (!frontier.empty()) {
+      size_t q = frontier.front();
+      frontier.pop_front();
+      if (out.labels[q] == kNoise) out.labels[q] = cluster;
+      if (out.labels[q] != kUnvisited) continue;
+      out.labels[q] = cluster;
+      std::vector<size_t> qnb = tree.RadiusQuery(q, eps);
+      if (qnb.size() >= min_points) {
+        frontier.insert(frontier.end(), qnb.begin(), qnb.end());
+      }
+    }
+    ++cluster;
+  }
+  out.num_clusters = static_cast<size_t>(cluster);
+  for (int l : out.labels) {
+    if (l == kNoise) ++out.num_noise;
+  }
+  return out;
+}
+
+}  // namespace blaeu::cluster

@@ -1,0 +1,71 @@
+// Vantage-point tree: exact metric nearest-neighbor and radius queries in
+// O(log n) expected time. The index that makes density-based map detection
+// (DBSCAN) scale past the O(n^2) distance matrix — the same role a spatial
+// index plays inside a DBMS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "cluster/clustering.h"
+#include "stats/matrix.h"
+
+namespace blaeu::cluster {
+
+/// \brief VP-tree over the rows of a Euclidean feature matrix.
+///
+/// The tree references the matrix; the matrix must outlive the tree.
+/// Construction is O(n log n) expected; queries are exact (not
+/// approximate) for the Euclidean metric.
+class VpTree {
+ public:
+  /// Builds the index over all rows of `data`.
+  explicit VpTree(const stats::Matrix& data, uint64_t seed = 42);
+
+  size_t size() const { return data_->rows(); }
+
+  /// Row ids within distance `radius` of row `query` (inclusive, and
+  /// including the query row itself), in ascending id order.
+  std::vector<size_t> RadiusQuery(size_t query, double radius) const;
+
+  /// The `k` nearest rows to row `query` (including itself), closest
+  /// first. Ties broken by id.
+  std::vector<size_t> KnnQuery(size_t query, size_t k) const;
+
+  /// Distance from row `query` to its k-th nearest neighbor (k >= 1;
+  /// k = 1 is the query itself at distance 0).
+  double KnnDistance(size_t query, size_t k) const;
+
+ private:
+  struct Node {
+    size_t point = 0;        ///< vantage row
+    double threshold = 0.0;  ///< median distance to the vantage point
+    int inside = -1;         ///< child index: points within threshold
+    int outside = -1;        ///< child index: points beyond threshold
+  };
+
+  double Distance(size_t a, size_t b) const;
+  int Build(std::vector<size_t>* items, size_t begin, size_t end, Rng* rng);
+  void SearchRadius(int node, size_t query, double radius,
+                    std::vector<size_t>* out) const;
+  void SearchKnn(int node, size_t query, size_t k,
+                 std::vector<std::pair<double, size_t>>* heap) const;
+
+  const stats::Matrix* data_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// DBSCAN over matrix rows using a VP-tree for neighborhoods: same results
+/// as the O(n^2) `Dbscan` (up to cluster numbering) at
+/// O(n log n * neighborhood) cost.
+struct IndexedDbscanResult {
+  std::vector<int> labels;  ///< cluster ids, -1 for noise
+  size_t num_clusters = 0;
+  size_t num_noise = 0;
+};
+IndexedDbscanResult DbscanIndexed(const stats::Matrix& data, double eps,
+                                  size_t min_points, uint64_t seed = 42);
+
+}  // namespace blaeu::cluster

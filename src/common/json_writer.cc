@@ -1,0 +1,128 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace blaeu {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows a key; no comma.
+  }
+  if (needs_comma_) out_.push_back(',');
+  needs_comma_ = true;
+}
+
+void JsonWriter::Escape(const std::string& s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  stack_.push_back(Scope::kObject);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  stack_.pop_back();
+  out_.push_back('}');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  stack_.push_back(Scope::kArray);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  out_.push_back(']');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  if (needs_comma_) out_.push_back(',');
+  Escape(key);
+  out_.push_back(':');
+  needs_comma_ = true;
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  Escape(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace blaeu

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer, used to export data maps, themes and
+// benchmark series (the stand-in for Blaeu's JSON wire format between the
+// NodeJS server and the D3 client).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blaeu {
+
+/// \brief Append-only JSON document builder.
+///
+/// The caller is responsible for well-formedness (the writer validates
+/// nesting of objects/arrays via a small state stack and asserts on misuse
+/// in debug builds). Keys and string values are escaped.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes `"key":` inside an object; must be followed by a value.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Convenience: Key(k) followed by the matching value.
+  JsonWriter& KV(const std::string& k, const std::string& v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& KV(const std::string& k, const char* v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& KV(const std::string& k, double v) { return Key(k).Number(v); }
+  JsonWriter& KV(const std::string& k, int64_t v) { return Key(k).Int(v); }
+  JsonWriter& KV(const std::string& k, int v) {
+    return Key(k).Int(static_cast<int64_t>(v));
+  }
+  JsonWriter& KV(const std::string& k, size_t v) {
+    return Key(k).Int(static_cast<int64_t>(v));
+  }
+  JsonWriter& KV(const std::string& k, bool v) { return Key(k).Bool(v); }
+
+  /// The serialized document so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escape(const std::string& s);
+
+  enum class Scope { kObject, kArray };
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool needs_comma_ = false;
+  bool pending_key_ = false;
+};
+
+}  // namespace blaeu

@@ -1,0 +1,37 @@
+// Lightweight leveled logging to stderr. Off by default above kWarn so that
+// examples and benches stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace blaeu {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted line to stderr if `level` is enabled.
+void LogLine(LogLevel level, const std::string& msg);
+
+/// RAII stream that flushes a log line on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace blaeu
+
+#define BLAEU_LOG(level)                                              \
+  ::blaeu::internal::LogMessage(::blaeu::LogLevel::level).stream()

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blaeu {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// True if `s` parses fully as a finite double; stores it in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+/// True if `s` parses fully as an int64; stores it in *out.
+bool ParseInt(std::string_view s, int64_t* out);
+
+/// Formats a double compactly (up to `precision` significant digits, no
+/// trailing zeros).
+std::string FormatDouble(double v, int precision = 6);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Escapes a CSV field (quotes it when it contains delimiter/quote/newline).
+std::string CsvEscape(std::string_view field, char delim = ',');
+
+}  // namespace blaeu

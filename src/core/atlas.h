@@ -1,0 +1,59 @@
+// The atlas: one map per theme, built up front, with optional bootstrap
+// stability scores. The demo shows one map at a time; the journal version
+// of Blaeu pre-computes alternatives so the user can glance across every
+// "aspect" of the data at once. Stability quantifies how much a map is an
+// artifact of the sample: maps rebuilt from independent samples should
+// agree (high ARI) if the structure is real.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/map_builder.h"
+#include "core/theme.h"
+
+namespace blaeu::core {
+
+/// One atlas page.
+struct AtlasEntry {
+  int theme_id = 0;
+  DataMap map;
+  /// Mean pairwise ARI between `stability_replicas` maps rebuilt from
+  /// independent samples (1.0 = perfectly stable; 0 when replicas < 2).
+  double stability = 0.0;
+};
+
+/// Atlas options.
+struct AtlasOptions {
+  MapOptions map;
+  /// Replicated builds per theme for the stability score (0/1 disables).
+  size_t stability_replicas = 0;
+  /// Skip themes with fewer columns than this.
+  size_t min_theme_columns = 1;
+};
+
+/// \brief All themes mapped over one selection.
+struct Atlas {
+  std::vector<AtlasEntry> entries;  ///< theme order of the ThemeSet
+};
+
+/// Builds one map per qualifying theme over `sel`.
+Result<Atlas> BuildAtlas(const monet::Table& table,
+                         const monet::SelectionVector& sel,
+                         const ThemeSet& themes,
+                         const AtlasOptions& options = {});
+
+/// Compact text overview: one block per theme with cluster count,
+/// silhouette, stability and the top-level split.
+std::string RenderAtlas(const Atlas& atlas, const ThemeSet& themes);
+
+/// Mean pairwise ARI between the leaf partitions of maps built with
+/// distinct seeds over the same selection — the stability primitive,
+/// exposed for tests and benches.
+Result<double> MapStability(const monet::Table& table,
+                            const monet::SelectionVector& sel,
+                            const std::vector<std::string>& columns,
+                            const MapOptions& options, size_t replicas);
+
+}  // namespace blaeu::core

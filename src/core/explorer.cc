@@ -1,0 +1,43 @@
+#include "core/explorer.h"
+
+namespace blaeu::core {
+
+Status Explorer::LoadCsv(const std::string& path, const std::string& name,
+                         const monet::CsvOptions& csv_options) {
+  BLAEU_ASSIGN_OR_RETURN(monet::TablePtr table,
+                         monet::ReadCsvFile(path, csv_options));
+  return catalog_.Register(name, std::move(table));
+}
+
+Status Explorer::LoadTable(monet::TablePtr table, const std::string& name) {
+  return catalog_.Register(name, std::move(table));
+}
+
+Result<Session*> Explorer::OpenSession(const std::string& name) {
+  BLAEU_ASSIGN_OR_RETURN(monet::TablePtr table, catalog_.Get(name));
+  BLAEU_ASSIGN_OR_RETURN(Session session,
+                         Session::Start(table, name, options_));
+  auto owned = std::make_unique<Session>(std::move(session));
+  Session* raw = owned.get();
+  sessions_[name] = std::move(owned);
+  return raw;
+}
+
+Result<Session*> Explorer::GetSession(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::KeyError("no open session on '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Explorer::CloseSession(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::KeyError("no open session on '" + name + "'");
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace blaeu::core

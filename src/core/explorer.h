@@ -1,0 +1,57 @@
+// Explorer: the top-level facade. Owns a catalog (the "MonetDB" of
+// Figure 4) and the active sessions (the "NodeJS session manager"); this is
+// the public entry point a downstream user starts from.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/navigation.h"
+#include "monet/catalog.h"
+#include "monet/csv.h"
+
+namespace blaeu::core {
+
+/// \brief Facade over catalog + sessions.
+///
+/// Typical flow:
+///   Explorer explorer;
+///   explorer.LoadCsv("data.csv", "movies");
+///   auto* session = *explorer.OpenSession("movies");
+///   session->SelectTheme(0);  // etc.
+class Explorer {
+ public:
+  explicit Explorer(SessionOptions options = {}) : options_(options) {}
+
+  /// Imports a CSV file into the catalog under `name`.
+  Status LoadCsv(const std::string& path, const std::string& name,
+                 const monet::CsvOptions& csv_options = {});
+
+  /// Registers an existing table under `name`.
+  Status LoadTable(monet::TablePtr table, const std::string& name);
+
+  /// Tables available for exploration.
+  std::vector<std::string> Tables() const { return catalog_.List(); }
+
+  const monet::Catalog& catalog() const { return catalog_; }
+
+  /// Opens (or reopens) an exploration session on `name`. The returned
+  /// pointer stays valid until the session is closed or the explorer dies.
+  Result<Session*> OpenSession(const std::string& name);
+
+  /// The open session for `name`, if any.
+  Result<Session*> GetSession(const std::string& name);
+
+  /// Closes the session on `name` (KeyError if none).
+  Status CloseSession(const std::string& name);
+
+ private:
+  SessionOptions options_;
+  monet::Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace blaeu::core

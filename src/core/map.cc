@@ -1,0 +1,22 @@
+#include "core/map.h"
+
+namespace blaeu::core {
+
+std::vector<int> DataMap::LeafIds() const {
+  std::vector<int> out;
+  for (const MapRegion& r : regions) {
+    if (r.is_leaf()) out.push_back(r.id);
+  }
+  return out;
+}
+
+Status DataMap::ValidateRegionId(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= regions.size()) {
+    return Status::IndexError("region id " + std::to_string(id) +
+                              " out of range (map has " +
+                              std::to_string(regions.size()) + " regions)");
+  }
+  return Status::OK();
+}
+
+}  // namespace blaeu::core

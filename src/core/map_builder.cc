@@ -1,0 +1,331 @@
+#include "core/map_builder.h"
+
+#include <algorithm>
+
+#include "cluster/agglomerative.h"
+#include "cluster/clara.h"
+#include "cluster/clustering.h"
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "cluster/kselect.h"
+#include "cluster/pam.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "monet/sampling.h"
+#include "stats/distance.h"
+#include "stats/metrics.h"
+#include "tree/rules.h"
+
+namespace blaeu::core {
+
+using monet::SelectionVector;
+using monet::Table;
+using monet::TablePtr;
+
+namespace {
+
+/// Distance function over preprocessed features: Euclidean for dummy
+/// encoding, Gower for mixed/Gower encoding.
+struct FeatureMetric {
+  const stats::Matrix* features;
+  bool use_gower;
+  stats::GowerDistance gower;
+
+  double operator()(size_t i, size_t j) const {
+    if (use_gower) {
+      return gower(features->RowPtr(i), features->RowPtr(j));
+    }
+    return stats::EuclideanDistance(features->RowPtr(i), features->RowPtr(j),
+                                    features->cols());
+  }
+};
+
+struct ClusterOutcome {
+  cluster::ClusteringResult result;
+  double silhouette = 0.0;
+  std::string algorithm;
+};
+
+Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
+                                     const FeatureMetric& metric,
+                                     const MapOptions& options) {
+  const size_t n = features.rows();
+  MapAlgorithm algo = options.algorithm;
+  if (algo == MapAlgorithm::kAuto) {
+    algo = n > options.clara_threshold ? MapAlgorithm::kClara
+                                       : MapAlgorithm::kPam;
+  }
+  const size_t k_min = std::max<size_t>(2, options.k_min);
+  const size_t k_max =
+      std::min(options.k_max, n > 1 ? n - 1 : static_cast<size_t>(1));
+  const bool use_mc = n > options.monte_carlo_threshold;
+  stats::MonteCarloSilhouetteOptions mc;
+  mc.num_subsamples = options.mc_subsamples;
+  mc.subsample_size = options.mc_subsample_size;
+  mc.seed = options.seed + 7;
+
+  auto score = [&](const std::vector<int>& labels,
+                   const stats::DistanceMatrix* dist) {
+    if (!use_mc && dist != nullptr) {
+      return stats::MeanSilhouette(*dist, labels);
+    }
+    return stats::MonteCarloSilhouette(
+        n, labels, [&](size_t i, size_t j) { return metric(i, j); }, mc);
+  };
+
+  ClusterOutcome out;
+  double best = -2.0;
+
+  if (algo == MapAlgorithm::kClara) {
+    out.algorithm = "clara";
+    cluster::ClaraOptions clara;
+    clara.seed = options.seed;
+    auto dist_fn = [&](size_t i, size_t j) { return metric(i, j); };
+    const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
+    const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
+    for (size_t k = lo; k <= hi; ++k) {
+      BLAEU_ASSIGN_OR_RETURN(auto result,
+                             cluster::Clara(n, dist_fn, k, clara));
+      double s = score(result.labels, nullptr);
+      if (s > best) {
+        best = s;
+        out.result = std::move(result);
+      }
+    }
+    out.silhouette = best;
+    return out;
+  }
+
+  if (algo == MapAlgorithm::kKMeans) {
+    out.algorithm = "kmeans";
+    cluster::KMeansOptions km;
+    km.seed = options.seed;
+    const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
+    const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
+    for (size_t k = lo; k <= hi; ++k) {
+      BLAEU_ASSIGN_OR_RETURN(auto result, cluster::KMeans(features, k, km));
+      double s = score(result.assignment.labels, nullptr);
+      if (s > best) {
+        best = s;
+        out.result = std::move(result.assignment);
+      }
+    }
+    out.silhouette = best;
+    return out;
+  }
+
+  // PAM / agglomerative / DBSCAN: need the full distance matrix.
+  stats::DistanceMatrix dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) dist.Set(i, j, metric(i, j));
+  }
+  if (algo == MapAlgorithm::kDbscan) {
+    out.algorithm = "dbscan";
+    // eps heuristic: 1.5x the median distance to the 5th nearest neighbor.
+    const size_t kNeighbor = std::min<size_t>(5, n - 1);
+    std::vector<double> knn(n);
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) row[j] = dist.At(i, j);
+      std::nth_element(row.begin(), row.begin() + kNeighbor, row.end());
+      knn[i] = row[kNeighbor];
+    }
+    std::nth_element(knn.begin(), knn.begin() + n / 2, knn.end());
+    cluster::DbscanOptions db;
+    db.eps = std::max(1e-9, 1.5 * knn[n / 2]);
+    db.min_points = 5;
+    BLAEU_ASSIGN_OR_RETURN(auto raw, cluster::Dbscan(dist, db));
+    out.result = cluster::DbscanToClustering(raw, dist);
+    out.silhouette = out.result.num_clusters() > 1
+                         ? score(out.result.labels, &dist)
+                         : 0.0;
+    return out;
+  }
+  if (algo == MapAlgorithm::kAgglomerative) {
+    out.algorithm = "agglomerative";
+    const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
+    const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
+    for (size_t k = lo; k <= hi; ++k) {
+      BLAEU_ASSIGN_OR_RETURN(
+          auto result,
+          cluster::AgglomerativeToK(dist, cluster::Linkage::kAverage, k));
+      double s = score(result.labels, &dist);
+      if (s > best) {
+        best = s;
+        out.result = std::move(result);
+      }
+    }
+    out.silhouette = best;
+    return out;
+  }
+
+  out.algorithm = "pam";
+  if (options.fixed_k > 0) {
+    BLAEU_ASSIGN_OR_RETURN(out.result, cluster::Pam(dist, options.fixed_k));
+    out.silhouette = score(out.result.labels, &dist);
+    return out;
+  }
+  cluster::KSelectOptions ks;
+  ks.k_min = k_min;
+  ks.k_max = k_max;
+  ks.monte_carlo = use_mc;
+  ks.mc_options = mc;
+  BLAEU_ASSIGN_OR_RETURN(auto selected, cluster::SelectKWithPam(dist, ks));
+  out.result = std::move(selected.best);
+  out.silhouette = selected.best_score;
+  return out;
+}
+
+/// Builds map regions from the CART tree: one region per tree node, with
+/// edge predicates from the branch conditions.
+void BuildRegions(const tree::CartModel& model, const tree::CartNode& node,
+                  int parent_id, const monet::Conjunction& path,
+                  DataMap* map) {
+  MapRegion region;
+  region.id = static_cast<int>(map->regions.size());
+  region.parent = parent_id;
+  region.predicate = path;
+  if (parent_id >= 0) {
+    map->regions[parent_id].children.push_back(region.id);
+  }
+  int id = region.id;
+  if (node.is_leaf) {
+    region.cluster_label = node.label;
+    map->regions.push_back(std::move(region));
+    return;
+  }
+  map->regions.push_back(std::move(region));
+  monet::Condition left_cond = model.BranchCondition(node, true);
+  monet::Condition right_cond = model.BranchCondition(node, false);
+  {
+    monet::Conjunction left_path = path;
+    left_path.Add(left_cond);
+    monet::Conjunction left_edge;
+    left_edge.Add(left_cond);
+    size_t child_pos = map->regions.size();
+    BuildRegions(model, *node.left, id, left_path, map);
+    map->regions[child_pos].edge = left_edge;
+  }
+  {
+    monet::Conjunction right_path = path;
+    right_path.Add(right_cond);
+    monet::Conjunction right_edge;
+    right_edge.Add(right_cond);
+    size_t child_pos = map->regions.size();
+    BuildRegions(model, *node.right, id, right_path, map);
+    map->regions[child_pos].edge = right_edge;
+  }
+}
+
+}  // namespace
+
+Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
+                         const std::vector<std::string>& columns,
+                         const MapOptions& options) {
+  Timer timer;
+  if (columns.empty()) return Status::Invalid("no active columns");
+  if (sel.empty()) return Status::Invalid("empty selection");
+  BLAEU_ASSIGN_OR_RETURN(TablePtr view, table.ProjectNames(columns));
+
+  // 1. Sample the selection (paper: a few thousand tuples per map).
+  Rng rng(options.seed);
+  SelectionVector sample = sel;
+  if (options.sample_size > 0 && sel.size() > options.sample_size) {
+    sample = monet::SampleFromSelection(sel, options.sample_size, &rng);
+  }
+
+  // 2. Preprocess into vectors. A selection whose columns are all constant
+  // (e.g. after zooming into a single-category region) yields a trivial
+  // one-region map instead of an error: the user can still highlight,
+  // inspect and roll back.
+  Result<PreprocessedData> pre_or = Preprocess(*view, sample,
+                                               options.preprocess);
+  DataMap map;
+  map.active_columns = columns;
+  map.total_tuples = sel.size();
+  if (!pre_or.ok()) {
+    MapRegion root;
+    root.id = 0;
+    root.tuple_count = sel.size();
+    root.cluster_label = 0;
+    map.regions.push_back(std::move(root));
+    map.num_clusters = 1;
+    map.sample_size = sample.size();
+    map.algorithm = "trivial";
+    map.build_seconds = timer.ElapsedSeconds();
+    return map;
+  }
+  PreprocessedData pre = std::move(pre_or).ValueOrDie();
+  map.sample_size = pre.features.rows();
+
+  // Degenerate inputs (too few distinct tuples to split) yield a one-region
+  // map rather than an error: the user can still highlight and inspect.
+  if (pre.features.rows() < 4) {
+    MapRegion root;
+    root.id = 0;
+    root.tuple_count = sel.size();
+    root.cluster_label = 0;
+    if (!pre.rows.empty()) {
+      root.medoid_row = pre.rows[0];
+      root.has_medoid = true;
+    }
+    map.regions.push_back(std::move(root));
+    map.num_clusters = 1;
+    map.algorithm = "trivial";
+    map.build_seconds = timer.ElapsedSeconds();
+    return map;
+  }
+
+  // 3. Cluster the vectors.
+  FeatureMetric metric{
+      &pre.features,
+      options.preprocess.encoding == CategoricalEncoding::kGower,
+      stats::GowerDistance::Fit(pre.features, pre.categorical_mask())};
+  BLAEU_ASSIGN_OR_RETURN(ClusterOutcome outcome,
+                         RunClustering(pre.features, metric, options));
+  map.num_clusters = outcome.result.num_clusters();
+  map.silhouette = outcome.silhouette;
+  map.algorithm = outcome.algorithm;
+
+  // 4. Describe the clusters with a decision tree on the original columns.
+  BLAEU_ASSIGN_OR_RETURN(
+      tree::CartModel model,
+      tree::CartModel::Train(*view, pre.rows, outcome.result.labels,
+                             options.tree));
+  map.tree_fidelity = model.Fidelity(*view, pre.rows, outcome.result.labels);
+
+  // 5. Assemble the region hierarchy from the tree.
+  BuildRegions(model, model.root(), -1, monet::Conjunction(), &map);
+
+  // 6. Tuple counts over the FULL selection via the region predicates.
+  for (MapRegion& region : map.regions) {
+    if (region.parent < 0) {
+      region.tuple_count = sel.size();
+      continue;
+    }
+    BLAEU_ASSIGN_OR_RETURN(SelectionVector rows,
+                           region.predicate.EvaluateOn(*view, sel));
+    region.tuple_count = rows.size();
+  }
+
+  // 7. Attach cluster medoids to leaves.
+  for (MapRegion& region : map.regions) {
+    if (!region.is_leaf() || region.cluster_label < 0) continue;
+    size_t c = static_cast<size_t>(region.cluster_label);
+    if (c < outcome.result.medoids.size()) {
+      region.medoid_row = pre.rows[outcome.result.medoids[c]];
+      region.has_medoid = true;
+    }
+  }
+  map.build_seconds = timer.ElapsedSeconds();
+  return map;
+}
+
+Result<DataMap> BuildMap(const Table& table, const MapOptions& options) {
+  std::vector<std::string> columns;
+  for (const auto& f : table.schema().fields()) columns.push_back(f.name);
+  return BuildMap(table, SelectionVector::All(table.num_rows()), columns,
+                  options);
+}
+
+}  // namespace blaeu::core

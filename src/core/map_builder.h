@@ -1,0 +1,71 @@
+// The mapping engine (paper §3, Figure 3): sample -> preprocess -> cluster
+// (PAM / CLARA, k chosen by silhouette) -> describe with CART -> assemble
+// the region hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/map.h"
+#include "core/preprocess.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+#include "tree/cart.h"
+
+namespace blaeu::core {
+
+/// Cluster-detection algorithm for the map.
+enum class MapAlgorithm {
+  kAuto,           ///< PAM on small samples, CLARA beyond clara_threshold
+  kPam,
+  kClara,
+  kKMeans,         ///< baseline (requires dummy encoding)
+  kAgglomerative,  ///< baseline (average linkage)
+  kDbscan,         ///< density-based: arbitrary shapes, finds its own k
+};
+
+/// Map-construction options.
+struct MapOptions {
+  /// Tuples sampled from the selection before clustering (paper: "a few
+  /// thousand samples"). 0 disables sampling.
+  size_t sample_size = 2000;
+  MapAlgorithm algorithm = MapAlgorithm::kAuto;
+  /// kAuto switches from PAM to CLARA above this many sampled tuples.
+  size_t clara_threshold = 1200;
+  /// Range of cluster counts swept with the silhouette criterion.
+  size_t k_min = 2;
+  size_t k_max = 6;
+  /// Fix k exactly (0 = sweep with silhouette).
+  size_t fixed_k = 0;
+  /// Monte-Carlo silhouette for the k sweep above this many tuples.
+  size_t monte_carlo_threshold = 600;
+  size_t mc_subsamples = 4;
+  size_t mc_subsample_size = 150;
+  PreprocessOptions preprocess;
+  tree::CartOptions tree;
+  uint64_t seed = 42;
+
+  MapOptions() {
+    tree.max_depth = 4;
+    tree.min_samples_leaf = 8;
+  }
+};
+
+/// Builds the data map of `sel` over the `columns` of `table` (the active
+/// theme). `columns` must be non-empty and name existing columns.
+///
+/// The clustering runs on a sample; region tuple counts are then computed
+/// over the *whole* selection by evaluating the region predicates, so the
+/// map summarizes everything the user selected.
+Result<DataMap> BuildMap(const monet::Table& table,
+                         const monet::SelectionVector& sel,
+                         const std::vector<std::string>& columns,
+                         const MapOptions& options = {});
+
+/// Convenience: map over all rows and all columns.
+Result<DataMap> BuildMap(const monet::Table& table,
+                         const MapOptions& options = {});
+
+}  // namespace blaeu::core

@@ -1,0 +1,173 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "monet/column_stats.h"
+#include "stats/normalize.h"
+
+namespace blaeu::core {
+
+using monet::Column;
+using monet::ColumnStats;
+using monet::DataType;
+using monet::SelectionVector;
+using monet::Table;
+
+std::vector<bool> PreprocessedData::categorical_mask() const {
+  std::vector<bool> mask;
+  mask.reserve(feature_info.size());
+  for (const auto& f : feature_info) mask.push_back(f.is_categorical);
+  return mask;
+}
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Top categories of a column over the selection, most frequent first.
+std::vector<std::string> TopCategories(const Column& col,
+                                       const SelectionVector& sel,
+                                       size_t max_categories) {
+  std::unordered_map<std::string, size_t> counts;
+  for (uint32_t r : sel.rows()) {
+    if (!col.IsNull(r)) ++counts[col.GetValue(r).ToString()];
+  }
+  std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                     counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> out;
+  for (size_t i = 0; i < ranked.size() && i < max_categories; ++i) {
+    out.push_back(ranked[i].first);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PreprocessedData> Preprocess(const Table& table,
+                                    const SelectionVector& sel,
+                                    const PreprocessOptions& options) {
+  if (sel.empty()) return Status::Invalid("empty selection");
+  PreprocessedData out;
+  out.rows = sel.rows();
+
+  std::vector<size_t> keys;
+  if (options.remove_primary_keys) {
+    keys = monet::DetectPrimaryKeyColumns(table);
+  }
+  out.dropped_keys = keys;
+  auto is_key = [&](size_t c) {
+    return std::find(keys.begin(), keys.end(), c) != keys.end();
+  };
+
+  // Plan the feature layout column by column.
+  struct ColumnPlan {
+    size_t column;
+    bool categorical;
+    std::vector<std::string> categories;  // dummy layout (kDummy only)
+    stats::Normalizer normalizer = stats::Normalizer::ZScore({});
+    std::unordered_map<std::string, int> code;  // kGower category codes
+    double impute = 0.0;                        // numeric NaN replacement
+  };
+  std::vector<ColumnPlan> plans;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (is_key(c)) continue;
+    const Column& col = *table.column(c);
+    ColumnStats cs = monet::ComputeColumnStats(col, sel);
+    if (cs.count == cs.null_count) continue;  // all-null: nothing to encode
+    if (cs.distinct <= 1) continue;           // constant: no signal
+    ColumnPlan plan;
+    plan.column = c;
+    plan.categorical = monet::LooksCategorical(
+        col, cs, options.categorical_distinct_threshold);
+    if (plan.categorical) {
+      plan.categories = TopCategories(col, sel, options.max_categories);
+      if (options.encoding == CategoricalEncoding::kGower) {
+        for (size_t i = 0; i < plan.categories.size(); ++i) {
+          plan.code[plan.categories[i]] = static_cast<int>(i);
+        }
+      }
+    } else {
+      std::vector<double> values;
+      values.reserve(sel.size());
+      for (uint32_t r : sel.rows()) {
+        if (!col.IsNull(r)) values.push_back(col.GetNumeric(r));
+      }
+      plan.normalizer = options.zscore ? stats::Normalizer::ZScore(values)
+                                       : stats::Normalizer::MinMax(values);
+      double sum = 0;
+      for (double v : values) sum += plan.normalizer.Apply(v);
+      plan.impute = values.empty()
+                        ? 0.0
+                        : sum / static_cast<double>(values.size());
+    }
+    out.used_columns.push_back(c);
+    plans.push_back(std::move(plan));
+  }
+  if (plans.empty()) {
+    return Status::Invalid("no usable columns after preprocessing");
+  }
+
+  // Feature layout.
+  for (const ColumnPlan& plan : plans) {
+    const std::string& name = table.schema().field(plan.column).name;
+    if (!plan.categorical) {
+      out.feature_info.push_back({plan.column, name, false, ""});
+    } else if (options.encoding == CategoricalEncoding::kDummy) {
+      for (const std::string& cat : plan.categories) {
+        out.feature_info.push_back({plan.column, name, true, cat});
+      }
+    } else {
+      out.feature_info.push_back({plan.column, name, true, ""});
+    }
+  }
+
+  const size_t n = sel.size();
+  const size_t dims = out.feature_info.size();
+  out.features = stats::Matrix(n, dims);
+  const bool gower = options.encoding == CategoricalEncoding::kGower;
+
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t r = sel[i];
+    double* row = out.features.MutableRowPtr(i);
+    size_t f = 0;
+    for (const ColumnPlan& plan : plans) {
+      const Column& col = *table.column(plan.column);
+      if (!plan.categorical) {
+        if (col.IsNull(r)) {
+          row[f++] = gower ? kNaN : plan.impute;
+        } else {
+          row[f++] = plan.normalizer.Apply(col.GetNumeric(r));
+        }
+        continue;
+      }
+      if (gower) {
+        if (col.IsNull(r)) {
+          row[f++] = kNaN;
+        } else {
+          auto it = plan.code.find(col.GetValue(r).ToString());
+          // Categories beyond the cap share one overflow code.
+          row[f++] = it != plan.code.end()
+                         ? static_cast<double>(it->second)
+                         : static_cast<double>(plan.code.size());
+        }
+        continue;
+      }
+      // Dummy coding: 1 for the matching category, else 0 (missing: all 0).
+      std::string cell =
+          col.IsNull(r) ? std::string() : col.GetValue(r).ToString();
+      for (const std::string& cat : plan.categories) {
+        row[f++] = (!col.IsNull(r) && cell == cat) ? 1.0 : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace blaeu::core

@@ -1,0 +1,68 @@
+// Preprocessing stage of the mapping pipeline (Figure 3, first box):
+// "Blaeu removes the primary keys, it normalizes the continuous variables,
+// and it introduces dummy binary variables to represent the categorical
+// data (each dummy variable corresponds to one category). The result of
+// this operation is a set of vectors, where each vector represents a tuple
+// in the database."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+#include "stats/matrix.h"
+
+namespace blaeu::core {
+
+/// How categorical columns enter the feature space.
+enum class CategoricalEncoding {
+  kDummy,   ///< one 0/1 feature per category (paper's choice)
+  kGower,   ///< keep one code feature per column; use Gower distance
+};
+
+/// Preprocessing options.
+struct PreprocessOptions {
+  CategoricalEncoding encoding = CategoricalEncoding::kDummy;
+  /// Drop detected primary-key columns.
+  bool remove_primary_keys = true;
+  /// z-score continuous features (false: min-max).
+  bool zscore = true;
+  /// Cap on dummy features per categorical column; rarer categories share
+  /// an "other" feature. Keeps wide categorical columns from dominating.
+  size_t max_categories = 12;
+  /// Numeric columns with at most this many distinct values are treated as
+  /// categorical.
+  size_t categorical_distinct_threshold = 10;
+};
+
+/// \brief Description of one feature of the preprocessed matrix.
+struct FeatureInfo {
+  size_t source_column;      ///< index into the input table's schema
+  std::string source_name;   ///< column name
+  bool is_categorical;       ///< dummy or Gower-coded categorical
+  std::string category;      ///< dummy features: which category ("" else)
+};
+
+/// \brief Output of preprocessing: the vectors plus bookkeeping.
+struct PreprocessedData {
+  stats::Matrix features;             ///< one row per selected tuple
+  std::vector<FeatureInfo> feature_info;
+  std::vector<uint32_t> rows;         ///< table row per matrix row
+  std::vector<size_t> used_columns;   ///< table columns that contributed
+  std::vector<size_t> dropped_keys;   ///< removed primary-key columns
+  /// Per-feature categorical mask (for Gower).
+  std::vector<bool> categorical_mask() const;
+};
+
+/// Runs the preprocessing pipeline over the rows in `sel`.
+///
+/// Missing values: with kDummy encoding, numeric NaNs are imputed at the
+/// (normalized) mean and missing categoricals get all-zero dummies; with
+/// kGower they stay NaN and the Gower metric skips them pairwise.
+Result<PreprocessedData> Preprocess(const monet::Table& table,
+                                    const monet::SelectionVector& sel,
+                                    const PreprocessOptions& options = {});
+
+}  // namespace blaeu::core

@@ -1,0 +1,125 @@
+#include "core/theme.h"
+
+#include <algorithm>
+
+#include "cluster/kselect.h"
+#include "cluster/pam.h"
+#include "common/string_util.h"
+#include "monet/column_stats.h"
+
+namespace blaeu::core {
+
+using monet::Table;
+
+std::string Theme::Label(size_t max_names) const {
+  std::vector<std::string> head;
+  for (size_t i = 0; i < names.size() && i < max_names; ++i) {
+    head.push_back(names[i]);
+  }
+  std::string label = Join(head, ", ");
+  if (names.size() > max_names) {
+    label += ", ... (+" + std::to_string(names.size() - max_names) + ")";
+  }
+  return label;
+}
+
+Result<ThemeSet> DetectThemes(const Table& table,
+                              const ThemeOptions& options) {
+  // Candidate columns: everything except primary keys.
+  std::vector<size_t> columns;
+  std::vector<size_t> keys;
+  if (options.exclude_primary_keys) {
+    keys = monet::DetectPrimaryKeyColumns(table);
+  }
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (std::find(keys.begin(), keys.end(), c) == keys.end()) {
+      columns.push_back(c);
+    }
+  }
+  if (columns.empty()) return Status::Invalid("no non-key columns");
+
+  // Dependency matrix over the candidate columns only.
+  monet::TablePtr view = table.Project(columns);
+  BLAEU_ASSIGN_OR_RETURN(auto dep,
+                         stats::DependencyMatrix(*view, options.dependency));
+
+  const size_t m = columns.size();
+  ThemeSet out;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < m; ++i) {
+    names.push_back(table.schema().field(columns[i]).name);
+  }
+  out.graph = cluster::Graph(names);
+  out.graph_columns = columns;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      out.graph.SetWeight(i, j, dep[i][j]);
+    }
+  }
+
+  // Partition the graph: PAM on distance = 1 - dependency.
+  std::vector<int> labels(m, 0);
+  std::vector<size_t> medoids;
+  if (m < 3 || options.max_themes < 2) {
+    medoids.assign(1, 0);
+  } else {
+    stats::DistanceMatrix dist(m);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        dist.Set(i, j, 1.0 - dep[i][j]);
+      }
+    }
+    cluster::KSelectOptions ks;
+    ks.k_min = std::max<size_t>(2, options.min_themes);
+    ks.k_max = std::min(options.max_themes, m - 1);
+    BLAEU_ASSIGN_OR_RETURN(cluster::KSelectResult result,
+                           cluster::SelectKWithPam(dist, ks));
+    labels = result.best.labels;
+    medoids = result.best.medoids;
+    out.silhouette = result.best_score;
+  }
+
+  // Assemble themes.
+  out.themes.resize(medoids.size());
+  for (size_t t = 0; t < medoids.size(); ++t) {
+    out.themes[t].id = static_cast<int>(t);
+    out.themes[t].medoid_column = columns[medoids[t]];
+  }
+  for (size_t i = 0; i < m; ++i) {
+    Theme& theme = out.themes[labels[i]];
+    theme.columns.push_back(columns[i]);
+    theme.names.push_back(names[i]);
+  }
+  // Cohesion: mean pairwise dependency inside the theme.
+  for (size_t t = 0; t < out.themes.size(); ++t) {
+    Theme& theme = out.themes[t];
+    double total = 0.0;
+    size_t pairs = 0;
+    for (size_t a = 0; a < theme.columns.size(); ++a) {
+      for (size_t b = a + 1; b < theme.columns.size(); ++b) {
+        size_t ga = std::find(columns.begin(), columns.end(),
+                              theme.columns[a]) -
+                    columns.begin();
+        size_t gb = std::find(columns.begin(), columns.end(),
+                              theme.columns[b]) -
+                    columns.begin();
+        total += dep[ga][gb];
+        ++pairs;
+      }
+    }
+    // Singleton themes carry no dependency signal; rank them last rather
+    // than letting the vacuous "1.0" cohesion put them first.
+    theme.cohesion = pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+  }
+  std::sort(out.themes.begin(), out.themes.end(),
+            [](const Theme& a, const Theme& b) {
+              if (a.cohesion != b.cohesion) return a.cohesion > b.cohesion;
+              return a.id < b.id;
+            });
+  for (size_t t = 0; t < out.themes.size(); ++t) {
+    out.themes[t].id = static_cast<int>(t);
+  }
+  return out;
+}
+
+}  // namespace blaeu::core

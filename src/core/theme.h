@@ -1,0 +1,54 @@
+// Vertical clustering (paper §3, "Creating Themes"): build the dependency
+// graph over columns, then partition it with PAM into themes — "groups of
+// mutually dependent columns" that each highlight one aspect of the data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/graph.h"
+#include "common/status.h"
+#include "stats/column_dependency.h"
+
+namespace blaeu::core {
+
+/// \brief One theme: a group of mutually dependent columns.
+struct Theme {
+  int id = 0;
+  std::vector<size_t> columns;       ///< indices into the table schema
+  std::vector<std::string> names;    ///< column names, same order
+  size_t medoid_column = 0;          ///< the theme's most central column
+  double cohesion = 0.0;             ///< mean pairwise dependency inside
+
+  /// "name1, name2, name3" label (first 3 names).
+  std::string Label(size_t max_names = 3) const;
+};
+
+/// Theme-detection options.
+struct ThemeOptions {
+  stats::DependencyOptions dependency;
+  /// Range of theme counts swept with the silhouette criterion.
+  size_t min_themes = 2;
+  size_t max_themes = 12;
+  /// Columns excluded up front (e.g. primary keys).
+  bool exclude_primary_keys = true;
+};
+
+/// \brief Theme detection output.
+struct ThemeSet {
+  std::vector<Theme> themes;          ///< sorted by cohesion, best first
+  cluster::Graph graph;               ///< the dependency graph (Figure 2)
+  std::vector<size_t> graph_columns;  ///< table column per graph vertex
+  double silhouette = 0.0;            ///< score of the chosen partition
+
+  const Theme& theme(size_t i) const { return themes[i]; }
+  size_t size() const { return themes.size(); }
+};
+
+/// Detects themes on `table`: dependency matrix -> graph -> PAM over the
+/// graph distances (1 - dependency), with the number of themes chosen by
+/// silhouette. Tables with fewer than 3 usable columns yield one theme.
+Result<ThemeSet> DetectThemes(const monet::Table& table,
+                              const ThemeOptions& options = {});
+
+}  // namespace blaeu::core

@@ -1,0 +1,201 @@
+#include "monet/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace blaeu::monet {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMean:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kCountDistinct:
+      return "COUNT_DISTINCT";
+  }
+  return "?";
+}
+
+std::string AggSpec::OutputName() const {
+  if (!as.empty()) return as;
+  std::string base = AggFnName(fn);
+  std::transform(base.begin(), base.end(), base.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (column.empty()) return base;
+  return base + "_" + column;
+}
+
+namespace {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  size_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::unordered_set<std::string> distinct;
+};
+
+}  // namespace
+
+Result<TablePtr> GroupBy(const Table& table, const SelectionVector& rows,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs) {
+  // Resolve key columns.
+  std::vector<const Column*> key_cols;
+  std::vector<DataType> key_types;
+  for (const std::string& k : keys) {
+    BLAEU_ASSIGN_OR_RETURN(size_t idx, table.schema().RequireFieldIndex(k));
+    key_cols.push_back(table.column(idx).get());
+    key_types.push_back(table.schema().field(idx).type);
+  }
+  // Resolve aggregate targets and validate types.
+  std::vector<const Column*> agg_cols(aggs.size(), nullptr);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    if (spec.column.empty()) {
+      if (spec.fn != AggFn::kCount) {
+        return Status::Invalid(std::string(AggFnName(spec.fn)) +
+                               " requires a target column");
+      }
+      continue;
+    }
+    BLAEU_ASSIGN_OR_RETURN(size_t idx,
+                           table.schema().RequireFieldIndex(spec.column));
+    const Column* col = table.column(idx).get();
+    bool numeric_fn = spec.fn == AggFn::kSum || spec.fn == AggFn::kMean ||
+                      spec.fn == AggFn::kMin || spec.fn == AggFn::kMax;
+    if (numeric_fn && col->type() == DataType::kString) {
+      return Status::TypeError(std::string(AggFnName(spec.fn)) + "(" +
+                               spec.column + "): column is not numeric");
+    }
+    agg_cols[a] = col;
+  }
+
+  // Group rows by the rendered key tuple, preserving first-seen order.
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<AggState>> group_states;
+
+  for (uint32_t r : rows.rows()) {
+    std::string key_repr;
+    std::vector<Value> key_values;
+    key_values.reserve(key_cols.size());
+    for (const Column* col : key_cols) {
+      Value v = col->GetValue(r);
+      key_repr += v.is_null() ? std::string("\x01NULL") : v.ToString();
+      key_repr.push_back('\x02');
+      key_values.push_back(std::move(v));
+    }
+    auto [it, inserted] = group_of.emplace(key_repr, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key_values));
+      group_states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& states = group_states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      AggState& st = states[a];
+      if (agg_cols[a] == nullptr) {  // COUNT(*)
+        ++st.count;
+        continue;
+      }
+      const Column* col = agg_cols[a];
+      if (col->IsNull(r)) continue;
+      ++st.count;
+      if (spec.fn == AggFn::kCountDistinct) {
+        st.distinct.insert(col->GetValue(r).ToString());
+        continue;
+      }
+      if (spec.fn != AggFn::kCount) {
+        double x = col->GetNumeric(r);
+        st.sum += x;
+        st.min = std::min(st.min, x);
+        st.max = std::max(st.max, x);
+      }
+    }
+  }
+
+  // Assemble the output table: key columns followed by aggregates.
+  std::vector<Field> fields;
+  std::vector<ColumnPtr> columns;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    fields.push_back({keys[k], key_types[k]});
+    columns.push_back(std::make_shared<Column>(key_types[k]));
+  }
+  for (const AggSpec& spec : aggs) {
+    DataType out_type =
+        (spec.fn == AggFn::kCount || spec.fn == AggFn::kCountDistinct)
+            ? DataType::kInt64
+            : DataType::kDouble;
+    fields.push_back({spec.OutputName(), out_type});
+    columns.push_back(std::make_shared<Column>(out_type));
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      BLAEU_RETURN_NOT_OK(columns[k]->AppendValue(group_keys[g][k]));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      const AggState& st = group_states[g][a];
+      Column* out = columns[keys.size() + a].get();
+      switch (spec.fn) {
+        case AggFn::kCount:
+          out->AppendInt(static_cast<int64_t>(st.count));
+          break;
+        case AggFn::kCountDistinct:
+          out->AppendInt(static_cast<int64_t>(st.distinct.size()));
+          break;
+        case AggFn::kSum:
+          if (st.count == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(st.sum);
+          }
+          break;
+        case AggFn::kMean:
+          if (st.count == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(st.sum / static_cast<double>(st.count));
+          }
+          break;
+        case AggFn::kMin:
+          if (st.count == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(st.min);
+          }
+          break;
+        case AggFn::kMax:
+          if (st.count == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(st.max);
+          }
+          break;
+      }
+    }
+  }
+  return Table::Make(Schema(std::move(fields)), std::move(columns));
+}
+
+Result<TablePtr> GroupBy(const Table& table,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs) {
+  return GroupBy(table, SelectionVector::All(table.num_rows()), keys, aggs);
+}
+
+}  // namespace blaeu::monet

@@ -1,0 +1,53 @@
+// Group-by aggregation over tables. Backs the highlight action's per-region
+// summaries and gives the store a minimal analytical surface (the kind of
+// query MonetDB would run for Blaeu's inspection panels).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// Aggregate functions.
+enum class AggFn {
+  kCount,  ///< non-null count of the target (or row count if target empty)
+  kSum,
+  kMean,
+  kMin,
+  kMax,
+  kCountDistinct,
+};
+
+/// SQL spelling ("COUNT", "SUM", ...).
+const char* AggFnName(AggFn fn);
+
+/// One aggregate to compute.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  /// Target column; may be empty for kCount (counts rows).
+  std::string column;
+  /// Output column name; defaults to "fn_column" when empty.
+  std::string as;
+
+  std::string OutputName() const;
+};
+
+/// \brief GROUP BY <keys> with a list of aggregates, over selected rows.
+///
+/// Groups appear in order of first occurrence. Numeric aggregates on
+/// string columns fail with TypeError (except count / count-distinct).
+/// NULL key values group together under NULL.
+Result<TablePtr> GroupBy(const Table& table, const SelectionVector& rows,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs);
+
+/// GroupBy over all rows.
+Result<TablePtr> GroupBy(const Table& table,
+                         const std::vector<std::string>& keys,
+                         const std::vector<AggSpec>& aggs);
+
+}  // namespace blaeu::monet

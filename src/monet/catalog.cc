@@ -1,0 +1,42 @@
+#include "monet/catalog.h"
+
+namespace blaeu::monet {
+
+Status Catalog::Register(const std::string& name, TablePtr table) {
+  if (table == nullptr) return Status::Invalid("null table");
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    return Status::Invalid("table '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::KeyError("no table named '" + name + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::List() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace blaeu::monet

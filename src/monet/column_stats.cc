@@ -1,0 +1,109 @@
+#include "monet/column_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace blaeu::monet {
+
+namespace {
+
+ColumnStats ComputeStatsImpl(const Column& col,
+                             const std::vector<uint32_t>& rows) {
+  ColumnStats s;
+  s.count = rows.size();
+  std::unordered_map<std::string, size_t> counter;
+  double sum = 0, sum_sq = 0;
+  size_t numeric_n = 0;
+  bool numeric = col.type() != DataType::kString;
+  bool first = true;
+  for (uint32_t r : rows) {
+    if (col.IsNull(r)) {
+      ++s.null_count;
+      continue;
+    }
+    Value v = col.GetValue(r);
+    ++counter[v.ToString()];
+    if (numeric) {
+      double x = col.GetNumeric(r);
+      sum += x;
+      sum_sq += x * x;
+      ++numeric_n;
+      if (first) {
+        s.min = s.max = x;
+        first = false;
+      } else {
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+      }
+    }
+  }
+  s.distinct = counter.size();
+  if (numeric_n > 0) {
+    s.mean = sum / static_cast<double>(numeric_n);
+    double var = sum_sq / static_cast<double>(numeric_n) - s.mean * s.mean;
+    s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  std::vector<std::pair<std::string, size_t>> tops(counter.begin(),
+                                                   counter.end());
+  std::sort(tops.begin(), tops.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (tops.size() > 16) tops.resize(16);
+  s.top_values = std::move(tops);
+  return s;
+}
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(const Column& col) {
+  std::vector<uint32_t> all(col.size());
+  for (size_t i = 0; i < col.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  return ComputeStatsImpl(col, all);
+}
+
+ColumnStats ComputeColumnStats(const Column& col,
+                               const SelectionVector& sel) {
+  return ComputeStatsImpl(col, sel.rows());
+}
+
+std::vector<size_t> DetectPrimaryKeyColumns(const Table& table) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const Column& col = *table.column(i);
+    const std::string lower = ToLower(table.schema().field(i).name);
+    bool name_is_key =
+        lower == "id" || lower == "key" || lower == "rowid" ||
+        (lower.size() > 3 && lower.substr(lower.size() - 3) == "_id");
+    if (name_is_key) {
+      out.push_back(i);
+      continue;
+    }
+    // Unique string/int columns are identifier-like; unique doubles are
+    // usually measurements, so only flag exact types.
+    if (col.type() == DataType::kString || col.type() == DataType::kInt64) {
+      ColumnStats s = ComputeColumnStats(col);
+      if (s.IsUniqueKey() && s.count > 1) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool LooksCategorical(const Column& col, const ColumnStats& stats,
+                      size_t max_distinct) {
+  if (col.type() == DataType::kString || col.type() == DataType::kBool) {
+    return true;
+  }
+  // A numeric column behaves like a categorical when its domain is tiny AND
+  // values actually repeat (3+ rows per distinct value on average) — a
+  // 6-row table with 6 distinct incomes is continuous, a 100-row table with
+  // 7 years is categorical.
+  size_t non_null = stats.count - stats.null_count;
+  return stats.distinct > 0 && stats.distinct <= max_distinct &&
+         stats.distinct * 3 <= non_null;
+}
+
+}  // namespace blaeu::monet

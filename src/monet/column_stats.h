@@ -1,0 +1,54 @@
+// Per-column summary statistics. Used by preprocessing (primary-key
+// detection, normalization parameters, categorical detection) and by the
+// highlight action's univariate summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monet/column.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// \brief Summary of one column.
+struct ColumnStats {
+  size_t count = 0;        ///< total rows
+  size_t null_count = 0;   ///< NULL rows
+  size_t distinct = 0;     ///< distinct non-null values
+  // Numeric moments (valid when the column is numeric and has non-nulls).
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  /// Most frequent non-null values, rendered as strings, with counts,
+  /// descending; capped at 16 entries.
+  std::vector<std::pair<std::string, size_t>> top_values;
+
+  /// All non-null values distinct and no NULLs: a key candidate.
+  bool IsUniqueKey() const {
+    return count > 0 && null_count == 0 && distinct == count;
+  }
+};
+
+/// Computes stats over the whole column.
+ColumnStats ComputeColumnStats(const Column& col);
+
+/// Computes stats over the rows in `sel` only.
+ColumnStats ComputeColumnStats(const Column& col, const SelectionVector& sel);
+
+/// Indices of columns that look like primary keys: unique-valued columns,
+/// and string/int columns whose lower-cased name is "id", ends in "_id" or
+/// "id" following a letter. These are excluded from clustering (paper §3:
+/// "Blaeu removes the primary keys").
+std::vector<size_t> DetectPrimaryKeyColumns(const Table& table);
+
+/// Heuristic: a numeric column with at most `max_distinct` distinct values
+/// behaves like a categorical (e.g. a year or a small code domain).
+bool LooksCategorical(const Column& col, const ColumnStats& stats,
+                      size_t max_distinct = 10);
+
+}  // namespace blaeu::monet

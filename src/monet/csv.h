@@ -1,0 +1,43 @@
+// CSV import/export with type inference — the "CSV File" ingest path of
+// Figure 4.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Tokens treated as NULL (case-sensitive, compared after trimming).
+  std::vector<std::string> null_tokens = {"", "NA", "NULL", "null", "nan"};
+  /// Rows scanned for type inference (0 = all rows).
+  size_t inference_rows = 1000;
+};
+
+/// Parses CSV from a stream. Column types are inferred per column over the
+/// first `inference_rows` data rows, choosing the narrowest of
+/// bool < int64 < double < string that fits every non-null token. Later
+/// rows that contradict the inferred type make the read fail with
+/// TypeError (no silent coercion).
+Result<TablePtr> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Writes `table` as RFC-4180 CSV (header + rows, fields escaped).
+Status WriteCsv(const Table& table, std::ostream& out, char delimiter = ',');
+
+/// Writes `table` to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace blaeu::monet

@@ -1,0 +1,203 @@
+#include "monet/predicate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace blaeu::monet {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+Condition Condition::Compare(std::string column, CompareOp op, Value value) {
+  Condition c;
+  c.column = std::move(column);
+  c.kind = Kind::kCompare;
+  c.op = op;
+  c.value = std::move(value);
+  return c;
+}
+
+Condition Condition::InSet(std::string column, std::vector<std::string> set,
+                           bool negated) {
+  Condition c;
+  c.column = std::move(column);
+  c.kind = Kind::kInSet;
+  c.set = std::move(set);
+  c.negated = negated;
+  return c;
+}
+
+Condition Condition::IsNull(std::string column) {
+  Condition c;
+  c.column = std::move(column);
+  c.kind = Kind::kIsNull;
+  return c;
+}
+
+Condition Condition::NotNull(std::string column) {
+  Condition c;
+  c.column = std::move(column);
+  c.kind = Kind::kNotNull;
+  return c;
+}
+
+namespace {
+
+bool CompareNumeric(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+bool CompareString(const std::string& lhs, CompareOp op,
+                   const std::string& rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Condition::Matches(const Column& col, size_t row) const {
+  const bool is_null = col.IsNull(row);
+  switch (kind) {
+    case Kind::kIsNull:
+      return is_null;
+    case Kind::kNotNull:
+      return !is_null;
+    case Kind::kCompare: {
+      if (is_null || value.is_null()) return false;
+      if (col.type() == DataType::kString) {
+        if (value.type() != DataType::kString) return false;
+        return CompareString(col.strings()[row], op, value.AsString());
+      }
+      if (value.type() == DataType::kString) return false;
+      return CompareNumeric(col.GetNumeric(row), op, value.AsDouble());
+    }
+    case Kind::kInSet: {
+      if (is_null) return false;
+      std::string cell = col.GetValue(row).ToString();
+      bool found = std::find(set.begin(), set.end(), cell) != set.end();
+      return negated ? !found : found;
+    }
+  }
+  return false;
+}
+
+std::string Condition::ToSql() const {
+  std::string quoted = "\"" + column + "\"";
+  switch (kind) {
+    case Kind::kIsNull:
+      return quoted + " IS NULL";
+    case Kind::kNotNull:
+      return quoted + " IS NOT NULL";
+    case Kind::kCompare: {
+      std::string rhs = value.type() == DataType::kString
+                            ? "'" + value.AsString() + "'"
+                            : value.ToString();
+      return quoted + " " + CompareOpSymbol(op) + " " + rhs;
+    }
+    case Kind::kInSet: {
+      std::string body;
+      for (size_t i = 0; i < set.size(); ++i) {
+        if (i > 0) body += ", ";
+        body += "'" + set[i] + "'";
+      }
+      return quoted + (negated ? " NOT IN (" : " IN (") + body + ")";
+    }
+  }
+  return "?";
+}
+
+Conjunction Conjunction::And(const Conjunction& other) const {
+  Conjunction out(conditions_);
+  for (const auto& c : other.conditions_) out.Add(c);
+  return out;
+}
+
+Result<SelectionVector> Conjunction::Evaluate(const Table& table) const {
+  return EvaluateOn(table, SelectionVector::All(table.num_rows()));
+}
+
+Result<SelectionVector> Conjunction::EvaluateOn(
+    const Table& table, const SelectionVector& base) const {
+  // Resolve columns once.
+  std::vector<const Column*> cols;
+  cols.reserve(conditions_.size());
+  for (const auto& c : conditions_) {
+    BLAEU_ASSIGN_OR_RETURN(size_t idx,
+                           table.schema().RequireFieldIndex(c.column));
+    cols.push_back(table.column(idx).get());
+  }
+  SelectionVector out;
+  for (uint32_t row : base.rows()) {
+    bool all = true;
+    for (size_t i = 0; i < conditions_.size(); ++i) {
+      if (!conditions_[i].Matches(*cols[i], row)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(row);
+  }
+  return out;
+}
+
+Result<bool> Conjunction::MatchesRow(const Table& table, size_t row) const {
+  for (const auto& c : conditions_) {
+    BLAEU_ASSIGN_OR_RETURN(size_t idx,
+                           table.schema().RequireFieldIndex(c.column));
+    if (!c.Matches(*table.column(idx), row)) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToSql() const {
+  if (conditions_.empty()) return "TRUE";
+  std::vector<std::string> parts;
+  parts.reserve(conditions_.size());
+  for (const auto& c : conditions_) parts.push_back(c.ToSql());
+  return Join(parts, " AND ");
+}
+
+}  // namespace blaeu::monet

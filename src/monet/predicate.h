@@ -1,0 +1,85 @@
+// Predicates over table columns. Data-map regions are described by
+// conjunctions of these conditions; rendering them as SQL realizes the
+// paper's claim that every map state is an implicit Select-Project query.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// Comparison operators for scalar conditions.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// SQL spelling ("<", "<=", ...).
+const char* CompareOpSymbol(CompareOp op);
+
+/// \brief One atomic condition on a single column.
+///
+/// Three shapes: scalar comparison (numeric or string equality), categorical
+/// set membership (`col IN {...}`, possibly negated), and null tests.
+struct Condition {
+  enum class Kind { kCompare, kInSet, kIsNull, kNotNull };
+
+  std::string column;
+  Kind kind = Kind::kCompare;
+  CompareOp op = CompareOp::kLt;   ///< for kCompare
+  Value value;                     ///< for kCompare
+  std::vector<std::string> set;    ///< for kInSet
+  bool negated = false;            ///< kInSet: NOT IN
+
+  /// Scalar comparison factory.
+  static Condition Compare(std::string column, CompareOp op, Value value);
+  /// Set-membership factory.
+  static Condition InSet(std::string column, std::vector<std::string> set,
+                         bool negated = false);
+  static Condition IsNull(std::string column);
+  static Condition NotNull(std::string column);
+
+  /// True if the row satisfies the condition. NULL cells fail every
+  /// condition except kIsNull (SQL three-valued logic collapsed to false).
+  bool Matches(const Column& col, size_t row) const;
+
+  /// SQL rendering, e.g. `"income" >= 22` or `"genre" IN ('Drama','Comedy')`.
+  std::string ToSql() const;
+};
+
+/// \brief A conjunction of conditions (the WHERE clause of a region).
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Condition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  void Add(Condition c) { conditions_.push_back(std::move(c)); }
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  bool empty() const { return conditions_.empty(); }
+  size_t size() const { return conditions_.size(); }
+
+  /// Concatenation of two conjunctions (used when zooming: the child region
+  /// inherits the parent's constraints).
+  Conjunction And(const Conjunction& other) const;
+
+  /// Rows of `table` satisfying all conditions. KeyError on unknown columns.
+  Result<SelectionVector> Evaluate(const Table& table) const;
+
+  /// Like Evaluate but restricted to the candidate rows in `base`.
+  Result<SelectionVector> EvaluateOn(const Table& table,
+                                     const SelectionVector& base) const;
+
+  /// True if row `row` satisfies all conditions; columns resolved once via
+  /// `table`. Returns TypeError/KeyError through the Result.
+  Result<bool> MatchesRow(const Table& table, size_t row) const;
+
+  /// SQL WHERE clause body ("TRUE" when empty).
+  std::string ToSql() const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+}  // namespace blaeu::monet

@@ -1,0 +1,32 @@
+#include "monet/query.h"
+
+namespace blaeu::monet {
+
+std::string SelectProjectQuery::ToSql() const {
+  std::string cols;
+  if (columns.empty()) {
+    cols = "*";
+  } else {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i > 0) cols += ", ";
+      cols += "\"" + columns[i] + "\"";
+    }
+  }
+  std::string sql = "SELECT " + cols + " FROM \"" + table_name + "\"";
+  if (!where.empty()) sql += " WHERE " + where.ToSql();
+  return sql + ";";
+}
+
+Result<TablePtr> SelectProjectQuery::Execute(const Catalog& catalog) const {
+  BLAEU_ASSIGN_OR_RETURN(TablePtr table, catalog.Get(table_name));
+  return ExecuteOn(*table);
+}
+
+Result<TablePtr> SelectProjectQuery::ExecuteOn(const Table& table) const {
+  BLAEU_ASSIGN_OR_RETURN(SelectionVector sel, where.Evaluate(table));
+  TablePtr filtered = table.Take(sel.rows());
+  if (columns.empty()) return filtered;
+  return filtered->ProjectNames(columns);
+}
+
+}  // namespace blaeu::monet

@@ -1,0 +1,76 @@
+// Row sampling: the mechanism behind Blaeu's interaction-time latency.
+// "After each zoom, Blaeu only takes a few thousand samples from the
+// database" (paper §3); the multi-scale sampler maintains a ladder of nested
+// samples so successive zooms re-sample cheaply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// `k` distinct row ids drawn uniformly from [0, n), sorted ascending.
+/// Returns all of [0, n) when k >= n.
+SelectionVector UniformSampleIndices(size_t n, size_t k, Rng* rng);
+
+/// `k` distinct rows drawn uniformly from `base`, sorted. Returns `base`
+/// itself when k >= base.size().
+SelectionVector SampleFromSelection(const SelectionVector& base, size_t k,
+                                    Rng* rng);
+
+/// One-pass reservoir sample of k distinct ids from [0, n) (Vitter's R),
+/// sorted. Behaviourally identical to UniformSampleIndices but exercises the
+/// streaming code path used for external tables.
+SelectionVector ReservoirSampleIndices(size_t n, size_t k, Rng* rng);
+
+/// Bernoulli sample: each row kept independently with probability p.
+SelectionVector BernoulliSampleIndices(size_t n, double p, Rng* rng);
+
+/// Stratified sample: draws ~k rows total, allocating per-stratum quotas
+/// proportionally to stratum sizes (at least 1 per non-empty stratum when
+/// k >= #strata). `labels[i]` is the stratum of row i.
+SelectionVector StratifiedSampleIndices(const std::vector<int>& labels,
+                                        size_t k, Rng* rng);
+
+/// Materializes a uniform sample of `table` with k rows.
+TablePtr SampleTable(const Table& table, size_t k, Rng* rng);
+
+/// \brief Nested multi-scale samples over one table.
+///
+/// Maintains a single random permutation of the base table's rows; the
+/// sample at scale s is the first `base_size * growth^s` elements, so
+/// smaller scales are strict subsets of larger ones (nested). For a given
+/// selection (after zooms), SampleAtMost() intersects lazily: it walks the
+/// permutation and keeps the first k rows that fall inside the selection,
+/// which costs O(prefix) instead of O(selection).
+class MultiScaleSampler {
+ public:
+  /// \param n           number of rows of the underlying table
+  /// \param base_size   size of the smallest scale (paper: "a few thousand")
+  /// \param growth      scale multiplier between levels
+  MultiScaleSampler(size_t n, size_t base_size, double growth, Rng* rng);
+
+  /// Number of scales (>= 1; the last scale is the full permutation).
+  size_t num_scales() const { return scale_sizes_.size(); }
+  /// Sample size at scale `s`.
+  size_t scale_size(size_t s) const { return scale_sizes_[s]; }
+
+  /// The sorted sample at scale `s` over the full table.
+  SelectionVector SampleAtScale(size_t s) const;
+
+  /// Up to `k` rows of `selection`, drawn uniformly, using the shared
+  /// permutation; nested across calls with growing k.
+  SelectionVector SampleAtMost(const SelectionVector& selection,
+                               size_t k) const;
+
+ private:
+  std::vector<uint32_t> permutation_;
+  std::vector<size_t> scale_sizes_;
+};
+
+}  // namespace blaeu::monet

@@ -1,0 +1,41 @@
+#include "monet/schema.h"
+
+namespace blaeu::monet {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+std::optional<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<size_t> Schema::RequireFieldIndex(const std::string& name) const {
+  auto idx = FieldIndex(name);
+  if (!idx) return Status::KeyError("no column named '" + name + "'");
+  return *idx;
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(fields_[i]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace blaeu::monet

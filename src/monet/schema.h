@@ -1,0 +1,55 @@
+// Table schemas: ordered, named, typed fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/type.h"
+
+namespace blaeu::monet {
+
+/// One column declaration.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of fields with O(1) lookup by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or nullopt.
+  std::optional<size_t> FieldIndex(const std::string& name) const;
+
+  /// Result-returning variant of FieldIndex.
+  Result<size_t> RequireFieldIndex(const std::string& name) const;
+
+  /// New schema keeping only `indices`, in that order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace blaeu::monet

@@ -1,0 +1,41 @@
+#include "monet/selection.h"
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+
+namespace blaeu::monet {
+
+SelectionVector SelectionVector::All(size_t n) {
+  std::vector<uint32_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  return SelectionVector(std::move(rows));
+}
+
+SelectionVector SelectionVector::Intersect(
+    const SelectionVector& other) const {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(rows_.size(), other.rows_.size()));
+  std::set_intersection(rows_.begin(), rows_.end(), other.rows_.begin(),
+                        other.rows_.end(), std::back_inserter(out));
+  return SelectionVector(std::move(out));
+}
+
+SelectionVector SelectionVector::Union(const SelectionVector& other) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size() + other.rows_.size());
+  std::set_union(rows_.begin(), rows_.end(), other.rows_.begin(),
+                 other.rows_.end(), std::back_inserter(out));
+  return SelectionVector(std::move(out));
+}
+
+SelectionVector SelectionVector::Difference(
+    const SelectionVector& other) const {
+  std::vector<uint32_t> out;
+  out.reserve(rows_.size());
+  std::set_difference(rows_.begin(), rows_.end(), other.rows_.begin(),
+                      other.rows_.end(), std::back_inserter(out));
+  return SelectionVector(std::move(out));
+}
+
+}  // namespace blaeu::monet

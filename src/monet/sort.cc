@@ -1,0 +1,92 @@
+#include "monet/sort.h"
+
+#include <algorithm>
+
+namespace blaeu::monet {
+
+namespace {
+
+struct KeyColumn {
+  const Column* column;
+  bool ascending;
+};
+
+/// Three-way comparison of two rows under one key; NULLs always last.
+int CompareCell(const KeyColumn& key, uint32_t a, uint32_t b) {
+  bool an = key.column->IsNull(a);
+  bool bn = key.column->IsNull(b);
+  if (an && bn) return 0;
+  if (an) return 1;   // null after non-null
+  if (bn) return -1;
+  int cmp;
+  if (key.column->type() == DataType::kString) {
+    cmp = key.column->strings()[a].compare(key.column->strings()[b]);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    double x = key.column->GetNumeric(a);
+    double y = key.column->GetNumeric(b);
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return key.ascending ? cmp : -cmp;
+}
+
+Result<std::vector<KeyColumn>> ResolveKeys(const Table& table,
+                                           const std::vector<SortKey>& keys) {
+  if (keys.empty()) return Status::Invalid("no sort keys");
+  std::vector<KeyColumn> out;
+  out.reserve(keys.size());
+  for (const SortKey& key : keys) {
+    BLAEU_ASSIGN_OR_RETURN(size_t idx,
+                           table.schema().RequireFieldIndex(key.column));
+    out.push_back({table.column(idx).get(), key.ascending});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SelectionVector> SortIndices(const Table& table,
+                                    const SelectionVector& rows,
+                                    const std::vector<SortKey>& keys) {
+  BLAEU_ASSIGN_OR_RETURN(std::vector<KeyColumn> cols,
+                         ResolveKeys(table, keys));
+  std::vector<uint32_t> order = rows.rows();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (const KeyColumn& key : cols) {
+                       int cmp = CompareCell(key, a, b);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return SelectionVector(std::move(order));
+}
+
+Result<TablePtr> SortTable(const Table& table, const SelectionVector& rows,
+                           const std::vector<SortKey>& keys) {
+  BLAEU_ASSIGN_OR_RETURN(SelectionVector order,
+                         SortIndices(table, rows, keys));
+  return table.Take(order.rows());
+}
+
+Result<SelectionVector> TopKIndices(const Table& table,
+                                    const SelectionVector& rows,
+                                    const std::vector<SortKey>& keys,
+                                    size_t k) {
+  BLAEU_ASSIGN_OR_RETURN(std::vector<KeyColumn> cols,
+                         ResolveKeys(table, keys));
+  auto less = [&](uint32_t a, uint32_t b) {
+    for (const KeyColumn& key : cols) {
+      int cmp = CompareCell(key, a, b);
+      if (cmp != 0) return cmp < 0;
+    }
+    return a < b;  // total order for heap stability
+  };
+  std::vector<uint32_t> order = rows.rows();
+  if (k >= order.size()) return SortIndices(table, rows, keys);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(), less);
+  order.resize(k);
+  return SelectionVector(std::move(order));
+}
+
+}  // namespace blaeu::monet

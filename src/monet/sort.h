@@ -1,0 +1,39 @@
+// Sorting and top-k selection over tables — the ORDER BY / LIMIT surface
+// of the mini store, used by inspection panels ("show me the most
+// profitable films in this region").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::monet {
+
+/// One sort key.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Row ids of `rows` ordered by the sort keys (stable; NULLs sort last
+/// regardless of direction; strings compare lexicographically, numerics
+/// numerically). KeyError on unknown columns.
+Result<SelectionVector> SortIndices(const Table& table,
+                                    const SelectionVector& rows,
+                                    const std::vector<SortKey>& keys);
+
+/// Materializes `table` restricted to `rows`, ordered by `keys`.
+Result<TablePtr> SortTable(const Table& table, const SelectionVector& rows,
+                           const std::vector<SortKey>& keys);
+
+/// The first `k` rows of the sorted order (ORDER BY ... LIMIT k) without
+/// fully sorting: partial selection, O(n log k).
+Result<SelectionVector> TopKIndices(const Table& table,
+                                    const SelectionVector& rows,
+                                    const std::vector<SortKey>& keys,
+                                    size_t k);
+
+}  // namespace blaeu::monet

@@ -1,0 +1,381 @@
+#include "monet/sql_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace blaeu::monet {
+
+namespace {
+
+enum class TokenKind {
+  kKeyword,     // SELECT, FROM, WHERE, AND, IN, NOT, IS, NULL, TRUE
+  kIdentifier,  // "quoted" or bare
+  kString,      // 'single quoted'
+  kNumber,
+  kOperator,    // < <= > >= = <>
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier/string/number payload, upper-cased keyword
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      Token token;
+      token.position = pos_;
+      if (pos_ >= input_.size()) {
+        token.kind = TokenKind::kEnd;
+        out.push_back(token);
+        return out;
+      }
+      char c = input_[pos_];
+      if (c == '"') {
+        BLAEU_ASSIGN_OR_RETURN(token.text, ReadQuoted('"'));
+        token.kind = TokenKind::kIdentifier;
+      } else if (c == '\'') {
+        BLAEU_ASSIGN_OR_RETURN(token.text, ReadQuoted('\''));
+        token.kind = TokenKind::kString;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+' || (c == '.' && pos_ + 1 < input_.size() &&
+                              std::isdigit(static_cast<unsigned char>(
+                                  input_[pos_ + 1])))) {
+        token.kind = TokenKind::kNumber;
+        token.text = ReadNumber();
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string word = ReadWord();
+        std::string upper;
+        for (char w : word) {
+          upper.push_back(
+              static_cast<char>(std::toupper(static_cast<unsigned char>(w))));
+        }
+        if (upper == "SELECT" || upper == "FROM" || upper == "WHERE" ||
+            upper == "AND" || upper == "IN" || upper == "NOT" ||
+            upper == "IS" || upper == "NULL" || upper == "TRUE") {
+          token.kind = TokenKind::kKeyword;
+          token.text = upper;
+        } else {
+          token.kind = TokenKind::kIdentifier;
+          token.text = word;
+        }
+      } else {
+        switch (c) {
+          case ',':
+            token.kind = TokenKind::kComma;
+            ++pos_;
+            break;
+          case '(':
+            token.kind = TokenKind::kLParen;
+            ++pos_;
+            break;
+          case ')':
+            token.kind = TokenKind::kRParen;
+            ++pos_;
+            break;
+          case '*':
+            token.kind = TokenKind::kStar;
+            ++pos_;
+            break;
+          case ';':
+            token.kind = TokenKind::kSemicolon;
+            ++pos_;
+            break;
+          case '<':
+            token.kind = TokenKind::kOperator;
+            ++pos_;
+            if (pos_ < input_.size() &&
+                (input_[pos_] == '=' || input_[pos_] == '>')) {
+              token.text = std::string("<") + input_[pos_++];
+            } else {
+              token.text = "<";
+            }
+            break;
+          case '>':
+            token.kind = TokenKind::kOperator;
+            ++pos_;
+            if (pos_ < input_.size() && input_[pos_] == '=') {
+              token.text = ">=";
+              ++pos_;
+            } else {
+              token.text = ">";
+            }
+            break;
+          case '=':
+            token.kind = TokenKind::kOperator;
+            token.text = "=";
+            ++pos_;
+            break;
+          default:
+            return Status::Invalid("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(pos_));
+        }
+      }
+      out.push_back(std::move(token));
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string> ReadQuoted(char quote) {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == quote) {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == quote) {
+          out.push_back(quote);  // doubled quote escape
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return out;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Status::Invalid("unterminated quote starting at position " +
+                           std::to_string(pos_));
+  }
+
+  std::string ReadNumber() {
+    size_t start = pos_;
+    if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E' ||
+            ((input_[pos_] == '-' || input_[pos_] == '+') &&
+             (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  std::string ReadWord() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectProjectQuery> ParseQuery() {
+    SelectProjectQuery q;
+    BLAEU_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+    } else {
+      while (true) {
+        BLAEU_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        q.columns.push_back(std::move(col));
+        if (Peek().kind != TokenKind::kComma) break;
+        Advance();
+      }
+    }
+    BLAEU_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    BLAEU_ASSIGN_OR_RETURN(q.table_name, ExpectIdentifier());
+    if (IsKeyword("WHERE")) {
+      Advance();
+      BLAEU_ASSIGN_OR_RETURN(q.where, ParseConjunction());
+    }
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::Invalid("trailing input at position " +
+                             std::to_string(Peek().position));
+    }
+    return q;
+  }
+
+  Result<Conjunction> ParseConjunction() {
+    Conjunction conj;
+    while (true) {
+      // TRUE is the empty conjunction marker.
+      if (IsKeyword("TRUE")) {
+        Advance();
+      } else {
+        BLAEU_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+        conj.Add(std::move(cond));
+      }
+      if (!IsKeyword("AND")) break;
+      Advance();
+    }
+    return conj;
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { ++index_; }
+
+  bool IsKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      return Status::Invalid(std::string("expected ") + kw +
+                             " at position " +
+                             std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::Invalid("expected identifier at position " +
+                             std::to_string(Peek().position));
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  Result<Condition> ParseCondition() {
+    BLAEU_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+    // IS [NOT] NULL
+    if (IsKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (IsKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      BLAEU_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return negated ? Condition::NotNull(column) : Condition::IsNull(column);
+    }
+    // [NOT] IN ( ... )
+    bool negated = false;
+    if (IsKeyword("NOT")) {
+      Advance();
+      negated = true;
+    }
+    if (IsKeyword("IN")) {
+      Advance();
+      if (Peek().kind != TokenKind::kLParen) {
+        return Status::Invalid("expected ( after IN at position " +
+                               std::to_string(Peek().position));
+      }
+      Advance();
+      std::vector<std::string> set;
+      while (true) {
+        if (Peek().kind != TokenKind::kString) {
+          return Status::Invalid("expected string literal at position " +
+                                 std::to_string(Peek().position));
+        }
+        set.push_back(Peek().text);
+        Advance();
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Status::Invalid("expected ) at position " +
+                               std::to_string(Peek().position));
+      }
+      Advance();
+      return Condition::InSet(column, std::move(set), negated);
+    }
+    if (negated) {
+      return Status::Invalid("expected IN after NOT at position " +
+                             std::to_string(Peek().position));
+    }
+    // Comparison.
+    if (Peek().kind != TokenKind::kOperator) {
+      return Status::Invalid("expected comparison operator at position " +
+                             std::to_string(Peek().position));
+    }
+    std::string op_text = Peek().text;
+    Advance();
+    CompareOp op;
+    if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else {  // "<>"
+      op = CompareOp::kNe;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      double v;
+      if (!ParseDouble(Peek().text, &v)) {
+        return Status::Invalid("bad number '" + Peek().text +
+                               "' at position " +
+                               std::to_string(Peek().position));
+      }
+      Advance();
+      return Condition::Compare(column, op, Value::Double(v));
+    }
+    if (Peek().kind == TokenKind::kString) {
+      std::string v = Peek().text;
+      Advance();
+      return Condition::Compare(column, op, Value::Str(std::move(v)));
+    }
+    return Status::Invalid("expected literal at position " +
+                           std::to_string(Peek().position));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<SelectProjectQuery> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  BLAEU_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<Conjunction> ParseWhere(const std::string& text) {
+  Lexer lexer(text);
+  BLAEU_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  BLAEU_ASSIGN_OR_RETURN(Conjunction conj, parser.ParseConjunction());
+  if (!parser.AtEnd()) {
+    return Status::Invalid("trailing input after WHERE clause");
+  }
+  return conj;
+}
+
+}  // namespace blaeu::monet

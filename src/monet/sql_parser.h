@@ -1,0 +1,35 @@
+// Parser for the Select-Project SQL dialect Blaeu emits. Every query the
+// session prints (`Session::CurrentQuery().ToSql()`) parses back into an
+// executable SelectProjectQuery, closing the maps <-> queries loop: a user
+// can copy a query out of a map, edit it, and run it against the catalog.
+//
+// Grammar (case-insensitive keywords):
+//   query   := SELECT cols FROM table [WHERE conj] [';']
+//   cols    := '*' | column (',' column)*
+//   conj    := cond (AND cond)*
+//   cond    := column op literal
+//            | column [NOT] IN '(' string (',' string)* ')'
+//            | column IS [NOT] NULL
+//            | TRUE
+//   op      := '<' | '<=' | '>' | '>=' | '=' | '<>'
+//   column  := '"' ident '"' | bare identifier
+//   table   := same as column
+//   literal := number | string
+//   string  := '\'' chars '\''   (doubled quote escapes)
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "monet/query.h"
+
+namespace blaeu::monet {
+
+/// Parses one Select-Project statement. Returns InvalidArgument with a
+/// position-annotated message on malformed input.
+Result<SelectProjectQuery> ParseSql(const std::string& sql);
+
+/// Parses a bare WHERE-clause body (the `Conjunction::ToSql()` output).
+Result<Conjunction> ParseWhere(const std::string& text);
+
+}  // namespace blaeu::monet

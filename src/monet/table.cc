@@ -1,0 +1,154 @@
+#include "monet/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace blaeu::monet {
+
+Table::Table(Schema schema, std::vector<ColumnPtr> columns)
+    : schema_(std::move(schema)),
+      columns_(std::move(columns)),
+      num_rows_(columns_.empty() ? 0 : columns_[0]->size()) {}
+
+Result<TablePtr> Table::Make(Schema schema, std::vector<ColumnPtr> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::Invalid("schema has " +
+                           std::to_string(schema.num_fields()) +
+                           " fields but " + std::to_string(columns.size()) +
+                           " columns given");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::Invalid("column " + std::to_string(i) + " is null");
+    }
+    if (columns[i]->type() != schema.field(i).type) {
+      return Status::TypeError("column '" + schema.field(i).name +
+                               "' type mismatch");
+    }
+    if (columns[i]->size() != rows) {
+      return Status::Invalid("column '" + schema.field(i).name +
+                             "' has ragged length");
+    }
+  }
+  return std::make_shared<const Table>(std::move(schema), std::move(columns));
+}
+
+Result<ColumnPtr> Table::ColumnByName(const std::string& name) const {
+  BLAEU_ASSIGN_OR_RETURN(size_t idx, schema_.RequireFieldIndex(name));
+  return columns_[idx];
+}
+
+std::vector<Value> Table::Row(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->GetValue(row));
+  return out;
+}
+
+TablePtr Table::Take(const std::vector<uint32_t>& indices) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    cols.push_back(std::make_shared<Column>(col->Take(indices)));
+  }
+  return std::make_shared<const Table>(schema_, std::move(cols));
+}
+
+TablePtr Table::Project(const std::vector<size_t>& indices) const {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) cols.push_back(columns_[i]);
+  return std::make_shared<const Table>(schema_.Select(indices),
+                                       std::move(cols));
+}
+
+Result<TablePtr> Table::ProjectNames(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    BLAEU_ASSIGN_OR_RETURN(size_t idx, schema_.RequireFieldIndex(name));
+    indices.push_back(idx);
+  }
+  return Project(indices);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  size_t rows = std::min(max_rows, num_rows_);
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header;
+  for (const auto& f : schema_.fields()) header.push_back(f.name);
+  grid.push_back(header);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> line;
+    for (const auto& col : columns_) line.push_back(col->GetValue(r).ToString());
+    grid.push_back(std::move(line));
+  }
+  std::vector<size_t> widths(num_columns(), 0);
+  for (const auto& line : grid) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t li = 0; li < grid.size(); ++li) {
+    for (size_t c = 0; c < grid[li].size(); ++c) {
+      if (c > 0) out << " | ";
+      out << grid[li][c];
+      out << std::string(widths[c] - grid[li][c].size(), ' ');
+    }
+    out << "\n";
+    if (li == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c > 0 ? 3 : 0);
+      }
+      out << std::string(total, '-') << "\n";
+    }
+  }
+  if (num_rows_ > rows) {
+    out << "... (" << num_rows_ - rows << " more rows)\n";
+  }
+  return out.str();
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(std::make_shared<Column>(f.type));
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::Invalid("row arity " + std::to_string(values.size()) +
+                           " != schema arity " +
+                           std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    BLAEU_RETURN_NOT_OK(columns_[i]->AppendValue(values[i]));
+  }
+  return Status::OK();
+}
+
+void TableBuilder::Reserve(size_t n) {
+  for (auto& col : columns_) col->Reserve(n);
+}
+
+Result<TablePtr> TableBuilder::Finish() {
+  size_t rows = num_rows();
+  for (const auto& col : columns_) {
+    if (col->size() != rows) {
+      return Status::Invalid("ragged columns at Finish()");
+    }
+  }
+  std::vector<ColumnPtr> cols(columns_.begin(), columns_.end());
+  columns_.clear();
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(std::make_shared<Column>(f.type));
+  }
+  return Table::Make(schema_, std::move(cols));
+}
+
+}  // namespace blaeu::monet

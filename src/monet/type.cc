@@ -1,0 +1,98 @@
+#include "monet/type.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace blaeu::monet {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+    case DataType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+double Value::AsDouble() const {
+  if (is_null_) return 0.0;
+  switch (type_) {
+    case DataType::kDouble:
+      return double_;
+    case DataType::kInt64:
+      return static_cast<double>(int_);
+    case DataType::kBool:
+      return bool_ ? 1.0 : 0.0;
+    case DataType::kString:
+      assert(false && "AsDouble on string value");
+      return 0.0;
+  }
+  return 0.0;
+}
+
+int64_t Value::AsInt() const {
+  if (is_null_) return 0;
+  switch (type_) {
+    case DataType::kInt64:
+      return int_;
+    case DataType::kDouble:
+      return static_cast<int64_t>(double_);
+    case DataType::kBool:
+      return bool_ ? 1 : 0;
+    case DataType::kString:
+      assert(false && "AsInt on string value");
+      return 0;
+  }
+  return 0;
+}
+
+bool Value::AsBool() const {
+  if (is_null_) return false;
+  assert(type_ == DataType::kBool);
+  return bool_;
+}
+
+const std::string& Value::AsString() const {
+  assert(!is_null_ && type_ == DataType::kString);
+  return str_;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case DataType::kDouble:
+      return FormatDouble(double_);
+    case DataType::kInt64:
+      return std::to_string(int_);
+    case DataType::kString:
+      return str_;
+    case DataType::kBool:
+      return bool_ ? "true" : "false";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null_ != other.is_null_) return false;
+  if (is_null_) return true;
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case DataType::kDouble:
+      return double_ == other.double_;
+    case DataType::kInt64:
+      return int_ == other.int_;
+    case DataType::kString:
+      return str_ == other.str_;
+    case DataType::kBool:
+      return bool_ == other.bool_;
+  }
+  return false;
+}
+
+}  // namespace blaeu::monet

@@ -1,0 +1,93 @@
+// Logical types and scalar values of the mini column store. The store is the
+// stand-in for MonetDB in Blaeu's architecture (Figure 4): it provides
+// columnar storage, scans, filters and sampling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace blaeu::monet {
+
+/// Logical column types. Blaeu distinguishes continuous columns (normalized
+/// during preprocessing) from categorical ones (dummy-coded); kString and
+/// kBool columns are treated as categorical, kDouble and kInt64 as
+/// continuous unless their distinct-value count is tiny.
+enum class DataType : uint8_t {
+  kDouble = 0,
+  kInt64 = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+/// Stable lower-case name ("double", "int64", "string", "bool").
+const char* DataTypeName(DataType type);
+
+/// True for kDouble / kInt64.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kDouble || type == DataType::kInt64;
+}
+
+/// \brief A nullable scalar, the row-wise unit of the store.
+///
+/// A small tagged union; strings own their storage. Used on non-hot paths
+/// (row assembly, CSV, highlights); bulk operations work directly on column
+/// vectors.
+class Value {
+ public:
+  /// Constructs a NULL of type kDouble (type is irrelevant for nulls).
+  Value() : type_(DataType::kDouble), is_null_(true) {}
+
+  static Value Null() { return Value(); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = DataType::kDouble;
+    out.is_null_ = false;
+    out.double_ = v;
+    return out;
+  }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = DataType::kInt64;
+    out.is_null_ = false;
+    out.int_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type_ = DataType::kString;
+    out.is_null_ = false;
+    out.str_ = std::move(v);
+    return out;
+  }
+  static Value Boolean(bool v) {
+    Value out;
+    out.type_ = DataType::kBool;
+    out.is_null_ = false;
+    out.bool_ = v;
+    return out;
+  }
+
+  bool is_null() const { return is_null_; }
+  DataType type() const { return type_; }
+
+  double AsDouble() const;     ///< numeric/bool widening; 0 for null.
+  int64_t AsInt() const;       ///< numeric narrowing; 0 for null.
+  bool AsBool() const;         ///< bool value; false for null.
+  const std::string& AsString() const;  ///< only valid for kString.
+
+  /// Human-readable rendering ("NULL", "3.14", "true", the string itself).
+  std::string ToString() const;
+
+  /// Deep equality: same nullness and, for non-nulls, same type and payload.
+  bool operator==(const Value& other) const;
+
+ private:
+  DataType type_;
+  bool is_null_;
+  double double_ = 0;
+  int64_t int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+};
+
+}  // namespace blaeu::monet

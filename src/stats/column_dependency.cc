@@ -1,0 +1,139 @@
+#include "stats/column_dependency.h"
+
+#include <unordered_map>
+
+#include "monet/sampling.h"
+#include "stats/discretize.h"
+#include "stats/entropy.h"
+
+namespace blaeu::stats {
+
+using monet::Column;
+using monet::DataType;
+using monet::Table;
+
+std::vector<int> EncodeColumnDiscrete(const Column& col,
+                                      const std::vector<uint32_t>& rows,
+                                      size_t num_bins) {
+  std::vector<int> codes(rows.size());
+  if (col.type() == DataType::kString || col.type() == DataType::kBool) {
+    std::unordered_map<std::string, int> dict;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint32_t r = rows[i];
+      if (col.IsNull(r)) {
+        codes[i] = -1;
+        continue;
+      }
+      std::string key = col.GetValue(r).ToString();
+      auto [it, _] = dict.emplace(key, static_cast<int>(dict.size()));
+      codes[i] = it->second;
+    }
+    return codes;
+  }
+  // Numeric: equal-frequency binning over the non-null values.
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (uint32_t r : rows) {
+    if (!col.IsNull(r)) values.push_back(col.GetNumeric(r));
+  }
+  Discretizer disc = Discretizer::EqualFrequency(values, num_bins);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint32_t r = rows[i];
+    codes[i] = col.IsNull(r) ? -1 : disc.Bin(col.GetNumeric(r));
+  }
+  return codes;
+}
+
+namespace {
+
+bool BothNumeric(const Table& table, size_t a, size_t b) {
+  return monet::IsNumeric(table.schema().field(a).type) &&
+         monet::IsNumeric(table.schema().field(b).type);
+}
+
+double AbsCorrelation(const Table& table, size_t col_a, size_t col_b,
+                      const std::vector<uint32_t>& rows, bool spearman) {
+  const Column& a = *table.column(col_a);
+  const Column& b = *table.column(col_b);
+  std::vector<double> xs, ys;
+  xs.reserve(rows.size());
+  ys.reserve(rows.size());
+  for (uint32_t r : rows) {
+    if (a.IsNull(r) || b.IsNull(r)) continue;  // pairwise deletion
+    xs.push_back(a.GetNumeric(r));
+    ys.push_back(b.GetNumeric(r));
+  }
+  double c = spearman ? SpearmanCorrelation(xs, ys)
+                      : PearsonCorrelation(xs, ys);
+  return c < 0 ? -c : c;
+}
+
+}  // namespace
+
+double ColumnDependency(const Table& table, size_t col_a, size_t col_b,
+                        const std::vector<uint32_t>& rows,
+                        const DependencyOptions& options) {
+  switch (options.measure) {
+    case DependencyMeasure::kAbsPearson:
+      if (BothNumeric(table, col_a, col_b)) {
+        return AbsCorrelation(table, col_a, col_b, rows, /*spearman=*/false);
+      }
+      break;  // fall through to NMI for mixed pairs
+    case DependencyMeasure::kAbsSpearman:
+      if (BothNumeric(table, col_a, col_b)) {
+        return AbsCorrelation(table, col_a, col_b, rows, /*spearman=*/true);
+      }
+      break;
+    case DependencyMeasure::kMutualInformation:
+      break;
+  }
+  std::vector<int> xs =
+      EncodeColumnDiscrete(*table.column(col_a), rows, options.num_bins);
+  std::vector<int> ys =
+      EncodeColumnDiscrete(*table.column(col_b), rows, options.num_bins);
+  return NormalizedMutualInformationMM(xs, ys);
+}
+
+Result<std::vector<std::vector<double>>> DependencyMatrix(
+    const Table& table, const DependencyOptions& options) {
+  const size_t m = table.num_columns();
+  Rng rng(options.seed);
+  std::vector<uint32_t> rows;
+  if (options.sample_rows > 0 && table.num_rows() > options.sample_rows) {
+    rows = monet::UniformSampleIndices(table.num_rows(), options.sample_rows,
+                                       &rng)
+               .rows();
+  } else {
+    rows.resize(table.num_rows());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<uint32_t>(i);
+    }
+  }
+  if (rows.empty()) return Status::Invalid("empty table");
+
+  // Pre-encode every column once for the MI path (each pair reuses them).
+  std::vector<std::vector<int>> encoded(m);
+  if (options.measure == DependencyMeasure::kMutualInformation) {
+    for (size_t i = 0; i < m; ++i) {
+      encoded[i] =
+          EncodeColumnDiscrete(*table.column(i), rows, options.num_bins);
+    }
+  }
+
+  std::vector<std::vector<double>> dep(m, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    dep[i][i] = 1.0;
+    for (size_t j = i + 1; j < m; ++j) {
+      double d;
+      if (options.measure == DependencyMeasure::kMutualInformation) {
+        d = NormalizedMutualInformationMM(encoded[i], encoded[j]);
+      } else {
+        d = ColumnDependency(table, i, j, rows, options);
+      }
+      dep[i][j] = dep[j][i] = d;
+    }
+  }
+  return dep;
+}
+
+}  // namespace blaeu::stats

@@ -1,0 +1,54 @@
+// Statistical dependency between table columns of any type: the edge
+// weights of Blaeu's dependency graph (Figure 2).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::stats {
+
+/// How to measure column dependency.
+enum class DependencyMeasure {
+  kMutualInformation,  ///< paper's choice: mixed types, non-linear
+  kAbsPearson,         ///< |Pearson correlation| (ablation baseline)
+  kAbsSpearman,        ///< |Spearman correlation| (ablation baseline)
+};
+
+/// Options for dependency estimation.
+struct DependencyOptions {
+  DependencyMeasure measure = DependencyMeasure::kMutualInformation;
+  /// Bins used to discretize numeric columns for MI. Few bins keep the
+  /// estimator's variance low on sampled rows (bias is Miller-Madow
+  /// corrected).
+  size_t num_bins = 5;
+  /// Rows sampled for estimation (0 = use all rows).
+  size_t sample_rows = 4000;
+  uint64_t seed = 42;
+};
+
+/// Discrete encoding of one column over the given rows: numeric columns are
+/// equal-frequency binned, categorical values are dictionary-coded, NULLs
+/// get their own code. Used by MI and by the CART categorical handling.
+std::vector<int> EncodeColumnDiscrete(const monet::Column& col,
+                                      const std::vector<uint32_t>& rows,
+                                      size_t num_bins);
+
+/// Dependency in [0, 1] between two columns of `table` on `rows`:
+/// normalized Miller-Madow MI, or |correlation| for the ablation measures (correlation
+/// measures require both columns numeric and fall back to NMI otherwise).
+double ColumnDependency(const monet::Table& table, size_t col_a, size_t col_b,
+                        const std::vector<uint32_t>& rows,
+                        const DependencyOptions& options);
+
+/// \brief Symmetric dependency matrix over the (optionally sampled) table.
+///
+/// Entry (i, j) is the pairwise dependency of columns i and j; the diagonal
+/// is 1. Column sampling happens once, shared by all pairs.
+Result<std::vector<std::vector<double>>> DependencyMatrix(
+    const monet::Table& table, const DependencyOptions& options = {});
+
+}  // namespace blaeu::stats

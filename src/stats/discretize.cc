@@ -1,0 +1,54 @@
+#include "stats/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blaeu::stats {
+
+Discretizer Discretizer::EqualWidth(const std::vector<double>& values,
+                                    size_t num_bins) {
+  Discretizer d;
+  if (values.empty() || num_bins <= 1) return d;
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double mn = *mn_it, mx = *mx_it;
+  if (mn == mx) return d;  // single bin
+  double width = (mx - mn) / static_cast<double>(num_bins);
+  for (size_t i = 1; i < num_bins; ++i) {
+    d.cuts_.push_back(mn + width * static_cast<double>(i));
+  }
+  return d;
+}
+
+Discretizer Discretizer::EqualFrequency(const std::vector<double>& values,
+                                        size_t num_bins) {
+  Discretizer d;
+  if (values.empty() || num_bins <= 1) return d;
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 1; i < num_bins; ++i) {
+    size_t idx = (i * sorted.size()) / num_bins;
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    double cut = sorted[idx];
+    if (d.cuts_.empty() || cut > d.cuts_.back()) d.cuts_.push_back(cut);
+  }
+  // A cut equal to the max would leave an empty last bin; drop it.
+  while (!d.cuts_.empty() && d.cuts_.back() >= sorted.back()) {
+    d.cuts_.pop_back();
+  }
+  return d;
+}
+
+int Discretizer::Bin(double v) const {
+  // First cut strictly greater than v gives the bin.
+  auto it = std::lower_bound(cuts_.begin(), cuts_.end(), v);
+  return static_cast<int>(it - cuts_.begin());
+}
+
+std::vector<int> Discretizer::BinAll(const std::vector<double>& values) const {
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Bin(v));
+  return out;
+}
+
+}  // namespace blaeu::stats

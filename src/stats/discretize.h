@@ -1,0 +1,42 @@
+// Discretization of continuous values into bins, the first step of the
+// mutual-information estimator for numeric columns.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace blaeu::stats {
+
+/// \brief Maps doubles to integer bin ids.
+class Discretizer {
+ public:
+  /// Equal-width bins spanning [min, max] of the observed values. Values
+  /// outside the fitted range clamp to the first/last bin. Degenerate input
+  /// (all equal) yields a single bin.
+  static Discretizer EqualWidth(const std::vector<double>& values,
+                                size_t num_bins);
+
+  /// Equal-frequency (quantile) bins: each bin receives roughly the same
+  /// number of training values. Duplicate cut points are merged, so the
+  /// realized bin count can be lower than requested.
+  static Discretizer EqualFrequency(const std::vector<double>& values,
+                                    size_t num_bins);
+
+  /// Bin id for one value, in [0, num_bins()).
+  int Bin(double v) const;
+
+  /// Bin ids for a batch.
+  std::vector<int> BinAll(const std::vector<double>& values) const;
+
+  /// Realized number of bins (>= 1).
+  size_t num_bins() const { return cuts_.size() + 1; }
+
+  /// Upper cut points (ascending); bin i covers (cuts[i-1], cuts[i]].
+  const std::vector<double>& cuts() const { return cuts_; }
+
+ private:
+  std::vector<double> cuts_;
+};
+
+}  // namespace blaeu::stats

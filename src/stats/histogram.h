@@ -1,0 +1,69 @@
+// Univariate and bivariate summaries backing the highlight action's
+// "classic univariate and bivariate visualization methods" (paper §2):
+// histograms for numeric columns, frequency tables for categorical ones,
+// and 2-D binned scatter summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/selection.h"
+#include "monet/table.h"
+
+namespace blaeu::stats {
+
+/// \brief Fixed-width numeric histogram.
+struct Histogram {
+  double min = 0;
+  double max = 0;
+  std::vector<size_t> counts;  ///< one per bin
+  size_t null_count = 0;
+
+  size_t total() const {
+    size_t t = null_count;
+    for (size_t c : counts) t += c;
+    return t;
+  }
+
+  /// ASCII rendering: one bar line per bin ("[lo, hi) ####### 42").
+  std::string ToAscii(size_t width = 40) const;
+};
+
+/// Histogram of a numeric column over `sel` with `num_bins` equal-width
+/// bins. TypeError on string columns.
+Result<Histogram> NumericHistogram(const monet::Column& col,
+                                   const monet::SelectionVector& sel,
+                                   size_t num_bins = 10);
+
+/// \brief Category frequency table.
+struct FrequencyTable {
+  std::vector<std::pair<std::string, size_t>> entries;  ///< desc by count
+  size_t null_count = 0;
+  size_t distinct = 0;  ///< before truncation
+
+  std::string ToAscii(size_t width = 40) const;
+};
+
+/// Frequency table of any column over `sel`; keeps the top `max_entries`.
+FrequencyTable CategoricalFrequencies(const monet::Column& col,
+                                      const monet::SelectionVector& sel,
+                                      size_t max_entries = 12);
+
+/// \brief 2-D binned count grid (a poor man's scatter plot).
+struct BinnedScatter {
+  double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  size_t x_bins = 0, y_bins = 0;
+  std::vector<size_t> counts;  ///< row-major [y][x]
+
+  size_t At(size_t yi, size_t xi) const { return counts[yi * x_bins + xi]; }
+  std::string ToAscii() const;  ///< density rendered with " .:*#@"
+};
+
+/// Joint distribution of two numeric columns over `sel`.
+Result<BinnedScatter> BivariateScatter(const monet::Column& x,
+                                       const monet::Column& y,
+                                       const monet::SelectionVector& sel,
+                                       size_t x_bins = 20, size_t y_bins = 10);
+
+}  // namespace blaeu::stats

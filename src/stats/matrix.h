@@ -1,0 +1,57 @@
+// Dense row-major matrix of doubles: the vector form tuples take after
+// preprocessing (Figure 3, first stage).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace blaeu::stats {
+
+/// \brief Minimal dense matrix. Rows are observations, columns features.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() doubles).
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  double* MutableRowPtr(size_t r) { return data_.data() + r * cols_; }
+
+  /// Copy of row r.
+  std::vector<double> Row(size_t r) const {
+    return {RowPtr(r), RowPtr(r) + cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// New matrix with only the listed rows (duplicates allowed).
+  Matrix TakeRows(const std::vector<size_t>& indices) const {
+    Matrix out(indices.size(), cols_);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const double* src = RowPtr(indices[i]);
+      std::copy(src, src + cols_, out.MutableRowPtr(i));
+    }
+    return out;
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace blaeu::stats

@@ -1,0 +1,29 @@
+// External clustering-agreement metrics, used to score maps against planted
+// ground truth and sampled clusterings against full-data clusterings
+// (experiment C2: "the loss of accuracy is minimal").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace blaeu::stats {
+
+/// Adjusted Rand Index between two labelings of the same points, in
+/// [-1, 1]; 1 = identical partitions, ~0 = random agreement.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Normalized mutual information between two labelings, in [0, 1]
+/// (sqrt normalization).
+double ClusteringNMI(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Purity of `predicted` against `truth`: each predicted cluster votes for
+/// its majority true class; fraction of points covered by the votes.
+double Purity(const std::vector<int>& predicted,
+              const std::vector<int>& truth);
+
+/// Classification accuracy: fraction of exact label matches. Use only when
+/// the two labelings share an alphabet (e.g. CART fidelity to PAM labels).
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth);
+
+}  // namespace blaeu::stats

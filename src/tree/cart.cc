@@ -1,0 +1,532 @@
+#include "tree/cart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace blaeu::tree {
+
+using monet::Column;
+using monet::Condition;
+using monet::DataType;
+using monet::Table;
+
+namespace {
+
+double Impurity(const std::vector<size_t>& counts, size_t total,
+                SplitCriterion criterion) {
+  if (total == 0) return 0.0;
+  const double dt = static_cast<double>(total);
+  double v = criterion == SplitCriterion::kGini ? 1.0 : 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / dt;
+    if (criterion == SplitCriterion::kGini) {
+      v -= p * p;
+    } else {
+      v -= p * std::log(p);
+    }
+  }
+  return v;
+}
+
+struct SplitSpec {
+  bool found = false;
+  size_t column = 0;
+  bool categorical = false;
+  double threshold = 0.0;
+  std::vector<std::string> categories;
+  bool null_goes_left = false;
+  double impurity_decrease = 0.0;
+};
+
+struct TrainContext {
+  const Table* table;
+  const std::vector<int>* labels;  // parallel to the *original* rows vector
+  size_t num_classes;
+  CartOptions options;
+};
+
+/// Class histogram of a row subset. `idx` indexes into ctx.labels.
+std::vector<size_t> CountClasses(const TrainContext& ctx,
+                                 const std::vector<size_t>& idx) {
+  std::vector<size_t> counts(ctx.num_classes, 0);
+  for (size_t i : idx) ++counts[(*ctx.labels)[i]];
+  return counts;
+}
+
+/// Best numeric split of `col` over the subset.
+void BestNumericSplit(const TrainContext& ctx,
+                      const std::vector<uint32_t>& rows,
+                      const std::vector<size_t>& idx, size_t col_idx,
+                      double parent_impurity, SplitSpec* best) {
+  const Column& col = *ctx.table->column(col_idx);
+  // Collect (value, label) pairs; count nulls per class.
+  std::vector<std::pair<double, int>> pairs;
+  pairs.reserve(idx.size());
+  std::vector<size_t> null_counts(ctx.num_classes, 0);
+  size_t nulls = 0;
+  for (size_t i : idx) {
+    uint32_t r = rows[i];
+    int label = (*ctx.labels)[i];
+    if (col.IsNull(r)) {
+      ++null_counts[label];
+      ++nulls;
+    } else {
+      pairs.emplace_back(col.GetNumeric(r), label);
+    }
+  }
+  if (pairs.size() < 2) return;
+  std::sort(pairs.begin(), pairs.end());
+  if (pairs.front().first == pairs.back().first) return;  // constant
+
+  const size_t total = idx.size();
+  // Candidate thresholds: midpoints between distinct consecutive values,
+  // optionally thinned to quantiles.
+  std::vector<size_t> boundaries;  // index i: split between i-1 and i
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i].first != pairs[i - 1].first) boundaries.push_back(i);
+  }
+  if (ctx.options.max_thresholds > 0 &&
+      boundaries.size() > ctx.options.max_thresholds) {
+    std::vector<size_t> thinned;
+    for (size_t t = 0; t < ctx.options.max_thresholds; ++t) {
+      size_t pick = (t * boundaries.size()) / ctx.options.max_thresholds;
+      thinned.push_back(boundaries[pick]);
+    }
+    thinned.erase(std::unique(thinned.begin(), thinned.end()), thinned.end());
+    boundaries = std::move(thinned);
+  }
+
+  // Prefix class counts for O(1) impurity at each boundary.
+  std::vector<size_t> left_counts(ctx.num_classes, 0);
+  size_t next_boundary = 0;
+  for (size_t i = 0; i < pairs.size() && next_boundary < boundaries.size();
+       ++i) {
+    if (i == boundaries[next_boundary]) {
+      // Evaluate split "value <= midpoint" with left = pairs[0..i).
+      // Nulls join the larger side.
+      size_t left_n = i;
+      size_t right_n = pairs.size() - i;
+      bool null_left = left_n >= right_n;
+      std::vector<size_t> lc = left_counts;
+      std::vector<size_t> rc(ctx.num_classes);
+      std::vector<size_t> total_counts = CountClasses(ctx, idx);
+      for (size_t c = 0; c < ctx.num_classes; ++c) {
+        rc[c] = total_counts[c] - lc[c] - null_counts[c];
+      }
+      if (null_left) {
+        for (size_t c = 0; c < ctx.num_classes; ++c) lc[c] += null_counts[c];
+        left_n += nulls;
+      } else {
+        right_n += nulls;
+      }
+      if (left_n >= ctx.options.min_samples_leaf &&
+          right_n >= ctx.options.min_samples_leaf) {
+        double wl = static_cast<double>(left_n) / static_cast<double>(total);
+        double wr = static_cast<double>(right_n) / static_cast<double>(total);
+        double child = wl * Impurity(lc, left_n, ctx.options.criterion) +
+                       wr * Impurity(rc, right_n, ctx.options.criterion);
+        double decrease = parent_impurity - child;
+        if (decrease > best->impurity_decrease) {
+          best->found = true;
+          best->column = col_idx;
+          best->categorical = false;
+          best->threshold =
+              (pairs[i - 1].first + pairs[i].first) / 2.0;
+          best->null_goes_left = null_left;
+          best->impurity_decrease = decrease;
+        }
+      }
+      ++next_boundary;
+    }
+    ++left_counts[pairs[i].second];
+  }
+}
+
+/// Best categorical split: greedy set growing over categories ordered by
+/// their class profile (start from the best single category, keep adding
+/// while impurity improves).
+void BestCategoricalSplit(const TrainContext& ctx,
+                          const std::vector<uint32_t>& rows,
+                          const std::vector<size_t>& idx, size_t col_idx,
+                          double parent_impurity, SplitSpec* best) {
+  const Column& col = *ctx.table->column(col_idx);
+  std::unordered_map<std::string, std::vector<size_t>> per_category;
+  std::vector<size_t> null_counts(ctx.num_classes, 0);
+  size_t nulls = 0;
+  for (size_t i : idx) {
+    uint32_t r = rows[i];
+    if (col.IsNull(r)) {
+      ++null_counts[(*ctx.labels)[i]];
+      ++nulls;
+      continue;
+    }
+    std::string key = col.GetValue(r).ToString();
+    auto [it, _] = per_category.try_emplace(key);
+    it->second.resize(ctx.num_classes, 0);
+    ++it->second[(*ctx.labels)[i]];
+  }
+  if (per_category.size() < 2 || per_category.size() > 64) return;
+
+  std::vector<size_t> total_counts = CountClasses(ctx, idx);
+  const size_t total = idx.size();
+
+  // Evaluate a candidate left-set given its class counts.
+  auto evaluate = [&](const std::vector<size_t>& lc_base, size_t left_base) {
+    size_t left_n = left_base;
+    size_t right_n = total - nulls - left_base;
+    bool null_left = left_n >= right_n;
+    std::vector<size_t> lc = lc_base;
+    std::vector<size_t> rc(ctx.num_classes);
+    for (size_t c = 0; c < ctx.num_classes; ++c) {
+      rc[c] = total_counts[c] - lc[c] - null_counts[c];
+    }
+    if (null_left) {
+      for (size_t c = 0; c < ctx.num_classes; ++c) lc[c] += null_counts[c];
+      left_n += nulls;
+    } else {
+      right_n += nulls;
+    }
+    if (left_n < ctx.options.min_samples_leaf ||
+        right_n < ctx.options.min_samples_leaf) {
+      return std::make_pair(-1.0, false);
+    }
+    double wl = static_cast<double>(left_n) / static_cast<double>(total);
+    double wr = static_cast<double>(right_n) / static_cast<double>(total);
+    double child = wl * Impurity(lc, left_n, ctx.options.criterion) +
+                   wr * Impurity(rc, right_n, ctx.options.criterion);
+    return std::make_pair(parent_impurity - child, null_left);
+  };
+
+  // Greedy growth.
+  std::vector<std::string> remaining;
+  remaining.reserve(per_category.size());
+  for (const auto& [cat, _] : per_category) remaining.push_back(cat);
+  std::sort(remaining.begin(), remaining.end());  // determinism
+
+  std::vector<std::string> chosen;
+  std::vector<size_t> chosen_counts(ctx.num_classes, 0);
+  size_t chosen_n = 0;
+  double chosen_decrease = 0.0;
+  bool chosen_null_left = false;
+
+  while (!remaining.empty() && chosen.size() + 1 < per_category.size()) {
+    double round_best = chosen_decrease;
+    size_t round_pick = remaining.size();
+    bool round_null_left = false;
+    for (size_t r = 0; r < remaining.size(); ++r) {
+      const auto& counts = per_category[remaining[r]];
+      std::vector<size_t> lc = chosen_counts;
+      size_t ln = chosen_n;
+      for (size_t c = 0; c < ctx.num_classes; ++c) {
+        lc[c] += counts[c];
+        ln += counts[c];
+      }
+      auto [decrease, null_left] = evaluate(lc, ln);
+      if (decrease > round_best) {
+        round_best = decrease;
+        round_pick = r;
+        round_null_left = null_left;
+      }
+    }
+    if (round_pick == remaining.size()) break;  // no improvement
+    const auto& counts = per_category[remaining[round_pick]];
+    for (size_t c = 0; c < ctx.num_classes; ++c) {
+      chosen_counts[c] += counts[c];
+      chosen_n += counts[c];
+    }
+    chosen.push_back(remaining[round_pick]);
+    remaining.erase(remaining.begin() + round_pick);
+    chosen_decrease = round_best;
+    chosen_null_left = round_null_left;
+  }
+
+  if (!chosen.empty() && chosen_decrease > best->impurity_decrease) {
+    best->found = true;
+    best->column = col_idx;
+    best->categorical = true;
+    std::sort(chosen.begin(), chosen.end());
+    best->categories = std::move(chosen);
+    best->null_goes_left = chosen_null_left;
+    best->impurity_decrease = chosen_decrease;
+  }
+}
+
+bool RowGoesLeft(const CartNode& node, const Column& col, uint32_t row) {
+  if (col.IsNull(row)) return node.null_goes_left;
+  if (node.categorical_split) {
+    std::string v = col.GetValue(row).ToString();
+    return std::binary_search(node.categories.begin(), node.categories.end(),
+                              v);
+  }
+  return col.GetNumeric(row) <= node.threshold;
+}
+
+std::unique_ptr<CartNode> Grow(const TrainContext& ctx,
+                               const std::vector<uint32_t>& rows,
+                               const std::vector<size_t>& idx, size_t depth) {
+  auto node = std::make_unique<CartNode>();
+  std::vector<size_t> counts = CountClasses(ctx, idx);
+  node->count = idx.size();
+  node->class_fractions.resize(ctx.num_classes, 0.0);
+  size_t best_count = 0;
+  for (size_t c = 0; c < ctx.num_classes; ++c) {
+    node->class_fractions[c] =
+        idx.empty() ? 0.0
+                    : static_cast<double>(counts[c]) /
+                          static_cast<double>(idx.size());
+    if (counts[c] > best_count) {
+      best_count = counts[c];
+      node->label = static_cast<int>(c);
+    }
+  }
+  double parent_impurity = Impurity(counts, idx.size(), ctx.options.criterion);
+  bool pure = best_count == idx.size();
+  if (depth >= ctx.options.max_depth || pure ||
+      idx.size() < ctx.options.min_samples_split) {
+    return node;
+  }
+
+  SplitSpec best;
+  best.impurity_decrease = ctx.options.min_impurity_decrease;
+  for (size_t col = 0; col < ctx.table->num_columns(); ++col) {
+    DataType type = ctx.table->schema().field(col).type;
+    if (type == DataType::kString || type == DataType::kBool) {
+      BestCategoricalSplit(ctx, rows, idx, col, parent_impurity, &best);
+    } else {
+      BestNumericSplit(ctx, rows, idx, col, parent_impurity, &best);
+    }
+  }
+  if (!best.found) return node;
+
+  node->is_leaf = false;
+  node->column = best.column;
+  node->categorical_split = best.categorical;
+  node->threshold = best.threshold;
+  node->categories = best.categories;
+  node->null_goes_left = best.null_goes_left;
+  node->impurity_decrease =
+      best.impurity_decrease * static_cast<double>(idx.size());
+
+  const Column& col = *ctx.table->column(best.column);
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : idx) {
+    if (RowGoesLeft(*node, col, rows[i])) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  // Guard against degenerate partitions (should not happen given the
+  // min_samples_leaf checks, but a NULL-routing corner could).
+  if (left_idx.empty() || right_idx.empty()) {
+    node->is_leaf = true;
+    return node;
+  }
+  node->left = Grow(ctx, rows, left_idx, depth + 1);
+  node->right = Grow(ctx, rows, right_idx, depth + 1);
+  return node;
+}
+
+/// Training misclassifications in the subtree rooted at `node` (leaves
+/// predict their majority class).
+size_t SubtreeError(const CartNode& node) {
+  if (node.is_leaf) {
+    size_t majority = node.label < static_cast<int>(node.class_fractions.size())
+                          ? static_cast<size_t>(
+                                node.class_fractions[node.label] *
+                                    static_cast<double>(node.count) +
+                                0.5)
+                          : 0;
+    return node.count - majority;
+  }
+  return SubtreeError(*node.left) + SubtreeError(*node.right);
+}
+
+size_t SubtreeLeaves(const CartNode& node) {
+  if (node.is_leaf) return 1;
+  return SubtreeLeaves(*node.left) + SubtreeLeaves(*node.right);
+}
+
+/// One weakest-link pass: collapses every internal node whose effective
+/// alpha — (error(node-as-leaf) - error(subtree)) / (leaves - 1), as a
+/// fraction of the training size — is <= ccp_alpha. Returns true if
+/// anything was pruned.
+bool PrunePass(CartNode* node, double ccp_alpha, size_t total_rows) {
+  if (node->is_leaf) return false;
+  bool changed = PrunePass(node->left.get(), ccp_alpha, total_rows);
+  changed |= PrunePass(node->right.get(), ccp_alpha, total_rows);
+  size_t leaves = SubtreeLeaves(*node);
+  if (leaves < 2) return changed;
+  size_t majority = static_cast<size_t>(
+      node->class_fractions[node->label] * static_cast<double>(node->count) +
+      0.5);
+  double leaf_error = static_cast<double>(node->count - majority);
+  double subtree_error = static_cast<double>(SubtreeError(*node));
+  double alpha_eff = (leaf_error - subtree_error) /
+                     (static_cast<double>(leaves - 1) *
+                      static_cast<double>(total_rows));
+  if (alpha_eff <= ccp_alpha) {
+    node->is_leaf = true;
+    node->left.reset();
+    node->right.reset();
+    node->categories.clear();
+    return true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+Result<CartModel> CartModel::Train(const Table& table,
+                                   const std::vector<uint32_t>& rows,
+                                   const std::vector<int>& labels,
+                                   const CartOptions& options) {
+  if (rows.size() != labels.size()) {
+    return Status::Invalid("rows/labels size mismatch");
+  }
+  if (rows.empty()) return Status::Invalid("empty training set");
+  int max_label = 0;
+  for (int l : labels) {
+    if (l < 0) return Status::Invalid("negative class label");
+    max_label = std::max(max_label, l);
+  }
+  TrainContext ctx;
+  ctx.table = &table;
+  ctx.labels = &labels;
+  ctx.num_classes = static_cast<size_t>(max_label) + 1;
+  ctx.options = options;
+
+  std::vector<size_t> idx(rows.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::unique_ptr<CartNode> root = Grow(ctx, rows, idx, 0);
+  if (options.ccp_alpha > 0.0) {
+    // Weakest-link pruning to a fixed alpha; iterate until stable since
+    // collapsing children can make the parent prunable.
+    while (PrunePass(root.get(), options.ccp_alpha, rows.size())) {
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(table.num_columns());
+  for (const auto& f : table.schema().fields()) names.push_back(f.name);
+  return CartModel(std::move(root), std::move(names), ctx.num_classes);
+}
+
+int CartModel::Predict(const Table& table, size_t row) const {
+  const CartNode* node = root_.get();
+  while (!node->is_leaf) {
+    const Column& col = *table.column(node->column);
+    node = RowGoesLeft(*node, col, static_cast<uint32_t>(row))
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node->label;
+}
+
+std::vector<int> CartModel::PredictAll(
+    const Table& table, const std::vector<uint32_t>& rows) const {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (uint32_t r : rows) out.push_back(Predict(table, r));
+  return out;
+}
+
+double CartModel::Fidelity(const Table& table,
+                           const std::vector<uint32_t>& rows,
+                           const std::vector<int>& labels) const {
+  assert(rows.size() == labels.size());
+  if (rows.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (Predict(table, rows[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(rows.size());
+}
+
+namespace {
+
+size_t DepthOf(const CartNode& node) {
+  if (node.is_leaf) return 0;
+  return 1 + std::max(DepthOf(*node.left), DepthOf(*node.right));
+}
+
+size_t LeavesOf(const CartNode& node) {
+  if (node.is_leaf) return 1;
+  return LeavesOf(*node.left) + LeavesOf(*node.right);
+}
+
+void Render(const CartNode& node, const std::vector<std::string>& names,
+            size_t indent, std::ostringstream* out) {
+  std::string pad(indent * 2, ' ');
+  if (node.is_leaf) {
+    *out << pad << "-> class " << node.label << " (" << node.count
+         << " rows)\n";
+    return;
+  }
+  std::string test;
+  if (node.categorical_split) {
+    test = names[node.column] + " in {" + Join(node.categories, ", ") + "}";
+  } else {
+    test = names[node.column] + " <= " + FormatDouble(node.threshold, 4);
+  }
+  *out << pad << "if " << test << ":\n";
+  Render(*node.left, names, indent + 1, out);
+  *out << pad << "else:\n";
+  Render(*node.right, names, indent + 1, out);
+}
+
+}  // namespace
+
+namespace {
+
+void AccumulateImportance(const CartNode& node, std::vector<double>* out) {
+  if (node.is_leaf) return;
+  (*out)[node.column] += node.impurity_decrease;
+  AccumulateImportance(*node.left, out);
+  AccumulateImportance(*node.right, out);
+}
+
+}  // namespace
+
+std::vector<double> CartModel::FeatureImportances() const {
+  std::vector<double> out(column_names_.size(), 0.0);
+  AccumulateImportance(*root_, &out);
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+size_t CartModel::Depth() const { return DepthOf(*root_); }
+size_t CartModel::NumLeaves() const { return LeavesOf(*root_); }
+
+Condition CartModel::BranchCondition(const CartNode& node, bool branch) const {
+  assert(!node.is_leaf);
+  const std::string& name = column_names_[node.column];
+  if (node.categorical_split) {
+    return Condition::InSet(name, node.categories, /*negated=*/!branch);
+  }
+  if (branch) {
+    return Condition::Compare(name, monet::CompareOp::kLe,
+                              monet::Value::Double(node.threshold));
+  }
+  return Condition::Compare(name, monet::CompareOp::kGt,
+                            monet::Value::Double(node.threshold));
+}
+
+std::string CartModel::ToString() const {
+  std::ostringstream out;
+  Render(*root_, column_names_, 0, &out);
+  return out.str();
+}
+
+}  // namespace blaeu::tree

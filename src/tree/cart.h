@@ -1,0 +1,115 @@
+// CART decision trees (Breiman et al. 1984, the paper's reference [2]).
+// Blaeu's map builder trains a CART model "on the original tuples from the
+// database, using the cluster IDs obtained previously as class labels"
+// (paper §3); the resulting axis-aligned splits are the interpretable
+// region descriptions shown on the map.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "monet/predicate.h"
+#include "monet/table.h"
+
+namespace blaeu::tree {
+
+/// Impurity criterion for split selection.
+enum class SplitCriterion { kGini, kEntropy };
+
+/// CART training options.
+struct CartOptions {
+  size_t max_depth = 4;        ///< shallow trees keep maps readable
+  size_t min_samples_leaf = 5;
+  size_t min_samples_split = 10;
+  /// Candidate thresholds per numeric column (quantile-capped); 0 = all
+  /// midpoints.
+  size_t max_thresholds = 32;
+  /// A split must reduce weighted impurity by at least this much.
+  double min_impurity_decrease = 1e-7;
+  SplitCriterion criterion = SplitCriterion::kGini;
+  /// Cost-complexity pruning strength (CART's weakest-link pruning): after
+  /// growing, subtrees whose per-leaf training-error reduction is below
+  /// this alpha are collapsed. 0 disables pruning.
+  double ccp_alpha = 0.0;
+};
+
+/// \brief One node of a trained tree.
+///
+/// Internal nodes hold a binary test; rows passing the test go left.
+/// Numeric test: value <= threshold. Categorical test: value in
+/// `categories`. NULLs follow `null_goes_left`.
+struct CartNode {
+  // Leaf payload (valid for all nodes; internal nodes use it as fallback).
+  int label = 0;                        ///< majority class
+  size_t count = 0;                     ///< training rows reaching the node
+  std::vector<double> class_fractions;  ///< per-class share at the node
+
+  // Split payload (internal nodes only).
+  bool is_leaf = true;
+  size_t column = 0;  ///< index into the training table's schema
+  bool categorical_split = false;
+  double threshold = 0.0;
+  std::vector<std::string> categories;  ///< left-branch category set
+  bool null_goes_left = false;
+  /// Weighted impurity decrease achieved by this node's split (internal
+  /// nodes only); feeds feature importances.
+  double impurity_decrease = 0.0;
+  std::unique_ptr<CartNode> left;
+  std::unique_ptr<CartNode> right;
+};
+
+/// \brief A trained CART classifier bound to a table schema.
+class CartModel {
+ public:
+  /// Trains on `rows` of `table` with `labels[i]` as the class of
+  /// `rows[i]`. Labels must be in [0, num_classes).
+  static Result<CartModel> Train(const monet::Table& table,
+                                 const std::vector<uint32_t>& rows,
+                                 const std::vector<int>& labels,
+                                 const CartOptions& options = {});
+
+  /// Predicted class of one row of a table with the training schema.
+  int Predict(const monet::Table& table, size_t row) const;
+
+  /// Predicted classes of all `rows`.
+  std::vector<int> PredictAll(const monet::Table& table,
+                              const std::vector<uint32_t>& rows) const;
+
+  /// Fraction of `rows` whose prediction matches `labels` — the fidelity of
+  /// the tree description to the clustering it approximates (experiment C5).
+  double Fidelity(const monet::Table& table,
+                  const std::vector<uint32_t>& rows,
+                  const std::vector<int>& labels) const;
+
+  const CartNode& root() const { return *root_; }
+  size_t num_classes() const { return num_classes_; }
+  size_t Depth() const;
+  size_t NumLeaves() const;
+
+  /// The predicate of the edge from `node` to its left (branch=true) or
+  /// right (branch=false) child, as a SQL-able condition.
+  monet::Condition BranchCondition(const CartNode& node, bool branch) const;
+
+  /// Impurity-decrease feature importances, one per training column,
+  /// normalized to sum 1 (all zeros for a single-leaf tree). The columns
+  /// driving the map's splits — what the map "is about".
+  std::vector<double> FeatureImportances() const;
+
+  /// Indented text rendering of the tree.
+  std::string ToString() const;
+
+ private:
+  CartModel(std::unique_ptr<CartNode> root, std::vector<std::string> columns,
+            size_t num_classes)
+      : root_(std::move(root)),
+        column_names_(std::move(columns)),
+        num_classes_(num_classes) {}
+
+  std::unique_ptr<CartNode> root_;
+  std::vector<std::string> column_names_;
+  size_t num_classes_;
+};
+
+}  // namespace blaeu::tree

@@ -1,0 +1,115 @@
+#include "tree/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace blaeu::tree {
+
+using monet::CompareOp;
+using monet::Condition;
+using monet::Conjunction;
+
+namespace {
+
+/// Simplifies a path conjunction: collapses stacked numeric bounds per
+/// column into at most one lower and one upper bound; keeps categorical
+/// conditions as-is (later ones are already subsets under tree semantics).
+Conjunction SimplifyPath(const std::vector<Condition>& path) {
+  struct Bounds {
+    bool has_upper = false;
+    double upper = 0;
+    CompareOp upper_op = CompareOp::kLe;
+    bool has_lower = false;
+    double lower = 0;
+    CompareOp lower_op = CompareOp::kGt;
+  };
+  std::map<std::string, Bounds> numeric;
+  std::vector<Condition> rest;
+  std::vector<std::string> column_order;
+
+  for (const Condition& c : path) {
+    bool is_upper = c.kind == Condition::Kind::kCompare &&
+                    (c.op == CompareOp::kLe || c.op == CompareOp::kLt);
+    bool is_lower = c.kind == Condition::Kind::kCompare &&
+                    (c.op == CompareOp::kGt || c.op == CompareOp::kGe);
+    if ((is_upper || is_lower) &&
+        c.value.type() != monet::DataType::kString) {
+      if (numeric.find(c.column) == numeric.end()) {
+        column_order.push_back(c.column);
+      }
+      Bounds& b = numeric[c.column];
+      double v = c.value.AsDouble();
+      if (is_upper && (!b.has_upper || v < b.upper)) {
+        b.has_upper = true;
+        b.upper = v;
+        b.upper_op = c.op;
+      }
+      if (is_lower && (!b.has_lower || v > b.lower)) {
+        b.has_lower = true;
+        b.lower = v;
+        b.lower_op = c.op;
+      }
+    } else {
+      rest.push_back(c);
+    }
+  }
+
+  Conjunction out;
+  for (const std::string& col : column_order) {
+    const Bounds& b = numeric[col];
+    if (b.has_lower) {
+      out.Add(Condition::Compare(col, b.lower_op,
+                                 monet::Value::Double(b.lower)));
+    }
+    if (b.has_upper) {
+      out.Add(Condition::Compare(col, b.upper_op,
+                                 monet::Value::Double(b.upper)));
+    }
+  }
+  for (Condition& c : rest) out.Add(std::move(c));
+  return out;
+}
+
+void Walk(const CartModel& model, const CartNode& node,
+          std::vector<Condition>* path, std::vector<LeafRule>* out) {
+  if (node.is_leaf) {
+    LeafRule rule;
+    rule.conditions = SimplifyPath(*path);
+    rule.label = node.label;
+    rule.count = node.count;
+    rule.confidence = node.label < static_cast<int>(node.class_fractions.size())
+                          ? node.class_fractions[node.label]
+                          : 0.0;
+    out->push_back(std::move(rule));
+    return;
+  }
+  path->push_back(model.BranchCondition(node, /*branch=*/true));
+  Walk(model, *node.left, path, out);
+  path->back() = model.BranchCondition(node, /*branch=*/false);
+  Walk(model, *node.right, path, out);
+  path->pop_back();
+}
+
+}  // namespace
+
+std::vector<LeafRule> ExtractRules(const CartModel& model) {
+  std::vector<LeafRule> out;
+  std::vector<Condition> path;
+  Walk(model, model.root(), &path, &out);
+  return out;
+}
+
+std::string RulesToString(const std::vector<LeafRule>& rules) {
+  std::ostringstream out;
+  for (const LeafRule& r : rules) {
+    out << "IF " << r.conditions.ToSql() << " THEN class " << r.label << "  ("
+        << r.count << " rows, "
+        << FormatDouble(100.0 * r.confidence, 3) << "% conf)\n";
+  }
+  return out.str();
+}
+
+}  // namespace blaeu::tree

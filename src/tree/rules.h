@@ -1,0 +1,31 @@
+// Rule extraction: turns a CART tree into one conjunctive rule per leaf.
+// These rules become the region predicates of the data map and the WHERE
+// clauses of the implicit Select-Project queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monet/predicate.h"
+#include "tree/cart.h"
+
+namespace blaeu::tree {
+
+/// \brief One extracted leaf rule.
+struct LeafRule {
+  monet::Conjunction conditions;  ///< root-to-leaf path predicate
+  int label = 0;                  ///< leaf's majority class
+  size_t count = 0;               ///< training rows at the leaf
+  double confidence = 0.0;        ///< majority-class fraction at the leaf
+};
+
+/// Extracts one rule per leaf, left-to-right. Numeric conditions on the
+/// same column are simplified (e.g. `x <= 5 AND x <= 3` becomes `x <= 3`,
+/// and a `<=` paired with a `>` becomes a range).
+std::vector<LeafRule> ExtractRules(const CartModel& model);
+
+/// Renders the rules as text, one per line:
+/// "IF <cond> AND <cond> THEN class k  (n rows, 97% conf)".
+std::string RulesToString(const std::vector<LeafRule>& rules);
+
+}  // namespace blaeu::tree

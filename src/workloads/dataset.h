@@ -1,0 +1,32 @@
+// Shared shape of the synthetic demo datasets. The paper demos Blaeu on
+// three real tables (Hollywood, OECD countries-and-work, LOFAR); the
+// generators here reproduce their dimensions, mixed types and — crucially —
+// planted structure: ground-truth row clusters (for map accuracy) and
+// column themes (for theme-detection accuracy).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monet/table.h"
+
+namespace blaeu::workloads {
+
+/// \brief Planted structure of a generated dataset.
+struct GroundTruth {
+  /// Cluster id per row.
+  std::vector<int> row_clusters;
+  /// Theme id per column (-1 for identifier columns outside any theme).
+  std::vector<int> column_themes;
+  size_t num_clusters = 0;
+  size_t num_themes = 0;
+};
+
+/// \brief A generated table plus its ground truth.
+struct Dataset {
+  std::string name;
+  monet::TablePtr table;
+  GroundTruth truth;
+};
+
+}  // namespace blaeu::workloads

@@ -1,0 +1,132 @@
+#include "workloads/gaussian.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace blaeu::workloads {
+
+using monet::Column;
+using monet::DataType;
+using monet::Field;
+using monet::Schema;
+using monet::Table;
+
+namespace {
+
+/// Center of cluster c in a `dims`-dimensional space: coordinates cycle
+/// through +/- separation patterns so any two centers differ by at least
+/// `separation` in some coordinate.
+std::vector<double> ClusterCenter(size_t c, size_t dims, double separation) {
+  std::vector<double> center(dims, 0.0);
+  for (size_t d = 0; d < dims; ++d) {
+    // Gray-code-ish placement: bit d of c decides the sign, the cluster
+    // index shifts the magnitude so centers stay distinct for any k.
+    double sign = ((c >> (d % 8)) & 1) ? 1.0 : -1.0;
+    center[d] = sign * separation *
+                (1.0 + 0.25 * static_cast<double>(c % (d + 2)));
+  }
+  return center;
+}
+
+}  // namespace
+
+Dataset MakeGaussianMixture(const MixtureSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<double> weights = spec.weights;
+  if (weights.empty()) weights.assign(spec.num_clusters, 1.0);
+
+  std::vector<std::vector<double>> centers;
+  centers.reserve(spec.num_clusters);
+  for (size_t c = 0; c < spec.num_clusters; ++c) {
+    centers.push_back(ClusterCenter(c, spec.dims, spec.separation));
+  }
+
+  std::vector<Field> fields;
+  if (spec.with_id) fields.push_back({"row_id", DataType::kInt64});
+  for (size_t d = 0; d < spec.dims; ++d) {
+    fields.push_back({"x" + std::to_string(d), DataType::kDouble});
+  }
+  if (spec.with_categorical) fields.push_back({"group", DataType::kString});
+
+  std::vector<monet::ColumnPtr> columns;
+  for (const Field& f : fields) {
+    auto col = std::make_shared<Column>(f.type);
+    col->Reserve(spec.rows);
+    columns.push_back(col);
+  }
+
+  Dataset out;
+  out.name = "gaussian_mixture";
+  out.truth.num_clusters = spec.num_clusters;
+  out.truth.num_themes = 1;
+  out.truth.row_clusters.reserve(spec.rows);
+  for (const Field& f : fields) {
+    out.truth.column_themes.push_back(
+        (f.name == "row_id") ? -1 : 0);
+  }
+
+  for (size_t r = 0; r < spec.rows; ++r) {
+    size_t c = rng.NextDiscrete(weights);
+    out.truth.row_clusters.push_back(static_cast<int>(c));
+    size_t col_idx = 0;
+    if (spec.with_id) {
+      columns[col_idx++]->AppendInt(static_cast<int64_t>(r));
+    }
+    for (size_t d = 0; d < spec.dims; ++d) {
+      if (spec.null_rate > 0 && rng.NextBernoulli(spec.null_rate)) {
+        columns[col_idx++]->AppendNull();
+      } else {
+        columns[col_idx++]->AppendDouble(centers[c][d] + rng.NextGaussian());
+      }
+    }
+    if (spec.with_categorical) {
+      // Correlated with the cluster, with 10% label noise.
+      size_t shown = rng.NextBernoulli(0.1)
+                         ? rng.NextBounded(spec.num_clusters)
+                         : c;
+      columns[col_idx++]->AppendString("g" + std::to_string(shown));
+    }
+  }
+  out.table = *Table::Make(Schema(std::move(fields)), std::move(columns));
+  return out;
+}
+
+Dataset MakeTwoThemeMixture(size_t rows, size_t dims_per_theme,
+                            size_t clusters_a, size_t clusters_b,
+                            uint64_t seed) {
+  MixtureSpec a;
+  a.rows = rows;
+  a.dims = dims_per_theme;
+  a.num_clusters = clusters_a;
+  a.seed = seed;
+  MixtureSpec b = a;
+  b.num_clusters = clusters_b;
+  b.seed = seed + 1;
+  Dataset da = MakeGaussianMixture(a);
+  Dataset db = MakeGaussianMixture(b);
+
+  std::vector<Field> fields;
+  std::vector<monet::ColumnPtr> columns;
+  Dataset out;
+  out.name = "two_theme_mixture";
+  out.truth.num_clusters = clusters_a;  // cluster truth follows theme A
+  out.truth.num_themes = 2;
+  out.truth.row_clusters = da.truth.row_clusters;
+  for (size_t d = 0; d < dims_per_theme; ++d) {
+    fields.push_back({"a" + std::to_string(d), DataType::kDouble});
+    columns.push_back(
+        da.table->column(d));
+    out.truth.column_themes.push_back(0);
+  }
+  for (size_t d = 0; d < dims_per_theme; ++d) {
+    fields.push_back({"b" + std::to_string(d), DataType::kDouble});
+    columns.push_back(
+        db.table->column(d));
+    out.truth.column_themes.push_back(1);
+  }
+  out.table = *Table::Make(Schema(std::move(fields)), std::move(columns));
+  return out;
+}
+
+}  // namespace blaeu::workloads

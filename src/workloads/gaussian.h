@@ -1,0 +1,45 @@
+// Generic Gaussian-mixture tables with planted clusters and themes — the
+// calibration workload for the k-selection, sampling-accuracy and
+// silhouette experiments (C2-C4).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace blaeu::workloads {
+
+/// Mixture parameters.
+struct MixtureSpec {
+  size_t rows = 1000;
+  size_t num_clusters = 3;
+  /// Numeric feature columns.
+  size_t dims = 6;
+  /// Distance between neighbouring cluster centers, in within-cluster
+  /// standard deviations; >= 4 gives well-separated clusters.
+  double separation = 6.0;
+  /// Cluster weights (empty = uniform).
+  std::vector<double> weights;
+  /// Fraction of cells set to NULL.
+  double null_rate = 0.0;
+  /// Appends a categorical column correlated with the cluster id.
+  bool with_categorical = false;
+  /// Appends a unique int id column (a primary key to be dropped).
+  bool with_id = false;
+  uint64_t seed = 42;
+};
+
+/// Generates a mixture table. Cluster centers are placed on a simplex-like
+/// grid scaled by `separation`; all features belong to theme 0 (plus theme
+/// -1 for the id column).
+Dataset MakeGaussianMixture(const MixtureSpec& spec);
+
+/// Two independent Gaussian-mixture column groups glued side by side: the
+/// minimal table with two planted themes whose row clusterings disagree.
+/// Used by theme-detection tests (each group is mutually dependent through
+/// its own latent cluster variable, and independent of the other group).
+Dataset MakeTwoThemeMixture(size_t rows, size_t dims_per_theme,
+                            size_t clusters_a, size_t clusters_b,
+                            uint64_t seed);
+
+}  // namespace blaeu::workloads

@@ -1,0 +1,138 @@
+#include "workloads/hollywood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace blaeu::workloads {
+
+using monet::Column;
+using monet::DataType;
+using monet::Field;
+using monet::Schema;
+using monet::Table;
+
+namespace {
+
+struct Profile {
+  double budget_mean, budget_sd;      // million USD, log-ish via clamping
+  double gross_mult_mean, gross_mult_sd;  // worldwide gross / budget
+  double critics_mean, critics_sd;    // 0-100
+  double audience_mean, audience_sd;  // 0-100
+  double theaters_mean, theaters_sd;
+};
+
+constexpr Profile kProfiles[] = {
+    // blockbuster
+    {160.0, 40.0, 3.2, 0.8, 55.0, 15.0, 72.0, 8.0, 4000.0, 400.0},
+    // critical darling
+    {12.0, 6.0, 2.4, 1.0, 88.0, 6.0, 78.0, 7.0, 900.0, 350.0},
+    // flop
+    {60.0, 20.0, 0.6, 0.25, 32.0, 10.0, 40.0, 9.0, 2600.0, 500.0},
+    // mid-range
+    {45.0, 15.0, 1.6, 0.5, 58.0, 10.0, 58.0, 8.0, 2800.0, 450.0},
+};
+
+const char* kGenres[] = {"Action", "Drama",  "Comedy",
+                         "Horror", "Sci-Fi", "Animation"};
+const char* kStudios[] = {"WB",       "Universal", "Disney", "Paramount",
+                          "Sony",     "Fox",       "Lionsgate"};
+// Genre preference per profile (index into kGenres, weights).
+const double kGenreWeights[4][6] = {
+    {4, 0.5, 1, 0.3, 3, 2},   // blockbuster: action/sci-fi/animation
+    {0.3, 4, 1.5, 0.4, 0.8, 0.3},  // darling: drama/comedy
+    {1.5, 1, 1.5, 2, 1, 0.5},      // flop: spread, horror-leaning
+    {1.5, 1.5, 2.5, 1, 0.8, 0.7},  // mid-range: comedy-leaning
+};
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Dataset MakeHollywood(const HollywoodSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Field> fields = {
+      {"film_id", DataType::kInt64},
+      {"title", DataType::kString},
+      {"genre", DataType::kString},
+      {"studio", DataType::kString},
+      {"year", DataType::kInt64},
+      {"budget_musd", DataType::kDouble},
+      {"domestic_gross_musd", DataType::kDouble},
+      {"worldwide_gross_musd", DataType::kDouble},
+      {"profitability", DataType::kDouble},
+      {"rt_critics", DataType::kDouble},
+      {"audience_score", DataType::kDouble},
+      {"theaters", DataType::kInt64},
+  };
+  std::vector<monet::ColumnPtr> columns;
+  for (const Field& f : fields) {
+    auto col = std::make_shared<Column>(f.type);
+    col->Reserve(spec.rows);
+    columns.push_back(col);
+  }
+
+  Dataset out;
+  out.name = "hollywood";
+  out.truth.num_clusters = 4;
+  out.truth.num_themes = 3;
+  //                     id  title genre studio year  bud  dom  ww   prof
+  out.truth.column_themes = {-1, -1, 2, 2, 2, 0, 0, 0, 0, 1, 1, 2};
+  // cluster mix: 15% blockbusters, 20% darlings, 25% flops, 40% mid.
+  std::vector<double> weights = {0.15, 0.20, 0.25, 0.40};
+
+  for (size_t r = 0; r < spec.rows; ++r) {
+    size_t c = rng.NextDiscrete(weights);
+    out.truth.row_clusters.push_back(static_cast<int>(c));
+    const Profile& p = kProfiles[c];
+
+    double budget = Clamp(rng.NextGaussian(p.budget_mean, p.budget_sd), 1.0,
+                          400.0);
+    double mult = Clamp(rng.NextGaussian(p.gross_mult_mean, p.gross_mult_sd),
+                        0.05, 12.0);
+    double worldwide = budget * mult;
+    double domestic_share = Clamp(rng.NextGaussian(0.45, 0.08), 0.15, 0.9);
+    double domestic = worldwide * domestic_share;
+    double critics = Clamp(rng.NextGaussian(p.critics_mean, p.critics_sd),
+                           2.0, 100.0);
+    double audience = Clamp(rng.NextGaussian(p.audience_mean, p.audience_sd),
+                            5.0, 100.0);
+    int64_t theaters = static_cast<int64_t>(
+        Clamp(rng.NextGaussian(p.theaters_mean, p.theaters_sd), 40.0, 4500.0));
+    int64_t year = rng.NextInt(2007, 2013);
+
+    std::vector<double> genre_w(std::begin(kGenreWeights[c]),
+                                std::end(kGenreWeights[c]));
+    const char* genre = kGenres[rng.NextDiscrete(genre_w)];
+    const char* studio = kStudios[rng.NextBounded(7)];
+
+    size_t i = 0;
+    columns[i++]->AppendInt(static_cast<int64_t>(r + 1));
+    columns[i++]->AppendString("Film #" + std::to_string(r + 1));
+    columns[i++]->AppendString(genre);
+    columns[i++]->AppendString(studio);
+    columns[i++]->AppendInt(year);
+    columns[i++]->AppendDouble(budget);
+    columns[i++]->AppendDouble(domestic);
+    columns[i++]->AppendDouble(worldwide);
+    columns[i++]->AppendDouble(mult);
+    if (rng.NextBernoulli(spec.missing_rate)) {
+      columns[i++]->AppendNull();
+    } else {
+      columns[i++]->AppendDouble(critics);
+    }
+    if (rng.NextBernoulli(spec.missing_rate)) {
+      columns[i++]->AppendNull();
+    } else {
+      columns[i++]->AppendDouble(audience);
+    }
+    columns[i++]->AppendInt(theaters);
+  }
+  out.table = *Table::Make(Schema(std::move(fields)), std::move(columns));
+  return out;
+}
+
+}  // namespace blaeu::workloads

@@ -1,0 +1,38 @@
+// Synthetic stand-in for the paper's Hollywood dataset: "data about 900
+// Hollywood movies released between 2007 and 2013. It contains 12 columns."
+// (paper §4.2). The generator plants four intuitive movie profiles so the
+// demo questions have discoverable answers: blockbusters, critical
+// darlings, flops and mid-range studio fare.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace blaeu::workloads {
+
+/// Hollywood generator options.
+struct HollywoodSpec {
+  size_t rows = 900;
+  uint64_t seed = 42;
+  /// Fraction of cells nulled in the score columns (critics do not review
+  /// everything).
+  double missing_rate = 0.02;
+};
+
+/// Schema (12 columns):
+///   film_id:int (PK), title:string (unique), genre:string, studio:string,
+///   year:int (2007-2013), budget_musd, domestic_gross_musd,
+///   worldwide_gross_musd, profitability, rt_critics (0-100),
+///   audience_score (0-100), theaters:int.
+///
+/// Planted clusters (truth.row_clusters):
+///   0 blockbuster   — huge budget/gross, good audience, mixed critics
+///   1 critical darling — small budget, modest gross, high critics
+///   2 flop          — mid budget, poor gross, poor scores
+///   3 mid-range     — everything moderate
+/// Planted themes (truth.column_themes): money columns (0), reception
+/// columns (1), release columns (2); ids/titles are -1.
+Dataset MakeHollywood(const HollywoodSpec& spec = {});
+
+}  // namespace blaeu::workloads

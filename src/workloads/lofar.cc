@@ -1,0 +1,172 @@
+#include "workloads/lofar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace blaeu::workloads {
+
+using monet::Column;
+using monet::DataType;
+using monet::Field;
+using monet::Schema;
+using monet::Table;
+
+namespace {
+
+constexpr size_t kBands = 12;  // observation frequencies, 120-168 MHz
+constexpr double kBandMhz[kBands] = {120, 124, 128, 132, 136, 140,
+                                     144, 148, 152, 156, 160, 168};
+
+struct SourceClass {
+  const char* name;
+  double log_flux_mean, log_flux_sd;  // log10 mJy at 144 MHz
+  double alpha_mean, alpha_sd;        // spectral index
+  double major_mean, major_sd;        // arcsec
+  double axis_ratio_mean;             // minor / major
+  double compact_mean, compact_sd;    // compactness score
+  double snr_mean, snr_sd;
+};
+
+constexpr SourceClass kClasses[5] = {
+    {"agn_steep", 1.8, 0.5, -0.9, 0.15, 18.0, 6.0, 0.55, 0.35, 0.1, 28, 9},
+    {"quasar_flat", 1.4, 0.4, -0.15, 0.12, 4.0, 1.5, 0.9, 0.8, 0.08, 35, 10},
+    {"sf_galaxy", 0.6, 0.35, -0.65, 0.1, 11.0, 4.0, 0.7, 0.5, 0.1, 14, 5},
+    {"pulsar_like", 0.9, 0.45, -1.6, 0.2, 1.2, 0.4, 0.95, 0.97, 0.02, 22, 8},
+    {"artifact", -0.2, 0.6, 0.4, 0.5, 40.0, 18.0, 0.25, 0.05, 0.04, 4, 1.5},
+};
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Dataset MakeLofar(const LofarSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Field> fields = {
+      {"source_id", DataType::kInt64},
+      {"ra_deg", DataType::kDouble},
+      {"dec_deg", DataType::kDouble},
+      {"gal_lat_deg", DataType::kDouble},
+      {"gal_lon_deg", DataType::kDouble},
+  };
+  Dataset out;
+  out.name = "lofar";
+  out.truth.num_clusters = 5;
+  out.truth.num_themes = 4;
+  out.truth.column_themes = {-1, 0, 0, 0, 0};
+
+  for (size_t b = 0; b < kBands; ++b) {
+    fields.push_back({"flux_" + std::to_string(static_cast<int>(kBandMhz[b])) +
+                          "mhz_mjy",
+                      DataType::kDouble});
+    out.truth.column_themes.push_back(1);
+  }
+  fields.push_back({"spectral_index", DataType::kDouble});
+  out.truth.column_themes.push_back(1);
+  fields.push_back({"flux_err_mjy", DataType::kDouble});
+  out.truth.column_themes.push_back(1);
+  fields.push_back({"total_flux_mjy", DataType::kDouble});
+  out.truth.column_themes.push_back(1);
+
+  for (const char* name :
+       {"major_axis_arcsec", "minor_axis_arcsec", "position_angle_deg",
+        "compactness", "elongation"}) {
+    fields.push_back({name, DataType::kDouble});
+    out.truth.column_themes.push_back(2);
+  }
+  for (const char* name :
+       {"snr", "rms_noise_ujy", "fit_chi2", "n_detections", "mosaic_edge_dist",
+        "clean_residual", "astrometry_err_mas", "flag_confused",
+        "neighbour_dist_arcsec", "beam_major_ratio", "cal_error_pct",
+        "elevation_deg", "obs_duration_h", "pointing_offset_deg"}) {
+    fields.push_back({name, DataType::kDouble});
+    out.truth.column_themes.push_back(3);
+  }
+  fields.push_back({"source_class", DataType::kString});
+  out.truth.column_themes.push_back(1);
+
+  std::vector<monet::ColumnPtr> columns;
+  for (const Field& f : fields) {
+    auto col = std::make_shared<Column>(f.type);
+    col->Reserve(spec.rows);
+    columns.push_back(col);
+  }
+
+  std::vector<double> class_weights = {0.28, 0.17, 0.34, 0.09, 0.12};
+  for (size_t r = 0; r < spec.rows; ++r) {
+    size_t c = rng.NextDiscrete(class_weights);
+    out.truth.row_clusters.push_back(static_cast<int>(c));
+    const SourceClass& cls = kClasses[c];
+
+    double ra = rng.NextUniform(0.0, 360.0);
+    double dec = rng.NextUniform(25.0, 70.0);  // northern survey footprint
+    double log_flux144 = rng.NextGaussian(cls.log_flux_mean, cls.log_flux_sd);
+    double alpha = rng.NextGaussian(cls.alpha_mean, cls.alpha_sd);
+    double major = Clamp(rng.NextGaussian(cls.major_mean, cls.major_sd), 0.3,
+                         120.0);
+    double minor = major * Clamp(rng.NextGaussian(cls.axis_ratio_mean, 0.1),
+                                 0.05, 1.0);
+    double compact = Clamp(rng.NextGaussian(cls.compact_mean, cls.compact_sd),
+                           0.0, 1.0);
+    double snr = Clamp(rng.NextGaussian(cls.snr_mean, cls.snr_sd), 1.0, 200.0);
+
+    size_t i = 0;
+    columns[i++]->AppendInt(static_cast<int64_t>(r + 1));
+    columns[i++]->AppendDouble(ra);
+    columns[i++]->AppendDouble(dec);
+    columns[i++]->AppendDouble(rng.NextUniform(-30.0, 80.0));
+    columns[i++]->AppendDouble(rng.NextUniform(0.0, 360.0));
+
+    double total = 0.0;
+    for (size_t b = 0; b < kBands; ++b) {
+      double flux = std::pow(10.0, log_flux144) *
+                    std::pow(kBandMhz[b] / 144.0, alpha) *
+                    (1.0 + 0.05 * rng.NextGaussian());
+      flux = std::max(flux, 0.01);
+      total += flux;
+      if (rng.NextBernoulli(spec.missing_rate)) {
+        columns[i++]->AppendNull();
+      } else {
+        columns[i++]->AppendDouble(flux);
+      }
+    }
+    columns[i++]->AppendDouble(alpha + 0.03 * rng.NextGaussian());
+    columns[i++]->AppendDouble(std::pow(10.0, log_flux144) / snr);
+    columns[i++]->AppendDouble(total);
+
+    columns[i++]->AppendDouble(major);
+    columns[i++]->AppendDouble(minor);
+    columns[i++]->AppendDouble(rng.NextUniform(0.0, 180.0));
+    columns[i++]->AppendDouble(compact);
+    columns[i++]->AppendDouble(major / std::max(minor, 1e-3));
+
+    columns[i++]->AppendDouble(snr);
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(70.0, 20.0), 20.0, 400.0));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(1.1, 0.4), 0.2, 8.0) *
+                               (c == 4 ? 3.0 : 1.0));
+    columns[i++]->AppendDouble(static_cast<double>(rng.NextInt(1, 12)));
+    columns[i++]->AppendDouble(rng.NextUniform(0.0, 2.0));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(0.05, 0.03), 0.0, 0.6) *
+                               (c == 4 ? 4.0 : 1.0));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(120.0, 60.0), 5.0,
+                                     800.0));
+    columns[i++]->AppendDouble(c == 4 ? 1.0 : (rng.NextBernoulli(0.05) ? 1.0
+                                                                       : 0.0));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(95.0, 60.0), 1.0,
+                                     600.0));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(1.0, 0.15), 0.5, 2.5));
+    columns[i++]->AppendDouble(Clamp(rng.NextGaussian(3.0, 1.5), 0.1, 15.0));
+    columns[i++]->AppendDouble(rng.NextUniform(20.0, 85.0));
+    columns[i++]->AppendDouble(rng.NextUniform(4.0, 10.0));
+    columns[i++]->AppendDouble(rng.NextUniform(0.0, 2.5));
+
+    columns[i++]->AppendString(cls.name);
+  }
+  out.table = *Table::Make(Schema(std::move(fields)), std::move(columns));
+  return out;
+}
+
+}  // namespace blaeu::workloads

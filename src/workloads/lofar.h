@@ -1,0 +1,34 @@
+// Synthetic stand-in for the paper's LOFAR database: "the result of a
+// large-scale radio astronomy experiment in the Netherlands ... positional
+// and physical properties of light sources (e.g., stars) ... 100,000s of
+// tuples and several dozens variables" (paper §4.2). Generates a radio
+// source catalog with five planted source classes whose spectral behaviour
+// separates them, at a scale that forces the CLARA + multi-scale-sampling
+// path.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace blaeu::workloads {
+
+/// LOFAR generator options.
+struct LofarSpec {
+  size_t rows = 200000;
+  uint64_t seed = 42;
+  double missing_rate = 0.01;
+};
+
+/// Schema (40 columns): source_id (PK), ra/dec/gal_lat/gal_lon (positions,
+/// theme 0), 12 per-band fluxes + spectral index + flux errors (theme 1),
+/// shape parameters (major/minor axis, position angle, compactness,
+/// theme 2), quality/detection metrics (theme 3), source_class:string
+/// (theme 1; the class drives the spectra).
+///
+/// Planted clusters (truth.row_clusters): 0 steep-spectrum AGN, 1
+/// flat-spectrum quasar, 2 star-forming galaxy, 3 pulsar-like compact
+/// source, 4 imaging artifact.
+Dataset MakeLofar(const LofarSpec& spec = {});
+
+}  // namespace blaeu::workloads

@@ -1,0 +1,176 @@
+#include "workloads/oecd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace blaeu::workloads {
+
+using monet::Column;
+using monet::DataType;
+using monet::Field;
+using monet::Schema;
+using monet::Table;
+
+namespace {
+
+constexpr size_t kNumThemes = 8;
+const char* kThemeNames[kNumThemes] = {
+    "econ", "labor", "unemp", "health", "wellbeing", "edu", "env", "housing"};
+
+// Latent factor means per development profile (row cluster) per theme.
+//                                 econ  labor unemp health well  edu   env  hous
+constexpr double kProfileMeans[4][kNumThemes] = {
+    {+1.5, -1.6, -0.8, +1.0, +1.2, +0.8, +0.6, +0.7},  // 0 balance
+    {+0.7, +1.7, -0.4, +0.1, -0.5, +0.4, -0.2, -0.3},  // 1 long-hours
+    {-1.5, +0.2, +1.5, -0.8, -1.0, -0.6, -0.4, -0.8},  // 2 high-unemployment
+    {-0.5, +0.1, +0.1, -0.1, +0.0, -0.1, +0.0, -0.1},  // 3 average
+};
+
+// 31 OECD countries; the first groups carry the profiles the demo story
+// needs (Figure 1c highlights Switzerland, Norway, Canada in the
+// low-hours/high-income region; "working in Canada is generally a good
+// idea").
+const char* kCountries[31] = {
+    "Switzerland", "Norway",      "Canada",     "Netherlands", "Denmark",
+    "Sweden",      "Japan",       "Korea",      "United States", "Mexico",
+    "Turkey",      "Chile",       "Greece",     "Spain",       "Portugal",
+    "Italy",       "Ireland",     "France",     "Germany",     "Austria",
+    "Belgium",     "Finland",     "Iceland",    "Luxembourg",  "Poland",
+    "Hungary",     "Czechia",     "Slovakia",   "Slovenia",    "Estonia",
+    "United Kingdom"};
+// Dominant profile per country (index-aligned with kCountries).
+constexpr int kCountryProfile[31] = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1,
+                                     1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3,
+                                     0, 0, 2, 2, 3, 3, 3, 3, 3};
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Dataset MakeOecd(const OecdSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t num_countries = std::min<size_t>(spec.num_countries, 31);
+
+  // --- Column plan -------------------------------------------------------
+  std::vector<Field> fields = {
+      {"region_id", DataType::kInt64},
+      {"region", DataType::kString},
+      {"country", DataType::kString},
+  };
+  Dataset out;
+  out.name = "oecd_countries_work";
+  out.truth.num_clusters = 4;
+  out.truth.num_themes = kNumThemes;
+  out.truth.column_themes = {-1, -1, -1};
+
+  struct IndicatorPlan {
+    size_t theme;
+    double base, scale, loading, noise_sd;
+    double lo, hi;       // clamp range
+    int transform = 0;   // 0 linear, 1 square, 2 abs, 3 sine
+  };
+  std::vector<IndicatorPlan> plans;
+
+  auto add_indicator = [&](const std::string& name, size_t theme, double base,
+                           double scale, double loading, double noise_sd,
+                           double lo, double hi) {
+    fields.push_back({name, DataType::kDouble});
+    out.truth.column_themes.push_back(static_cast<int>(theme));
+    plans.push_back({theme, base, scale, loading, noise_sd, lo, hi});
+  };
+
+  // Named lead indicators reproduce Figure 1's columns.
+  add_indicator("pct_employees_working_long_hours", 1, 15.0, 8.0, 1.0, 2.0,
+                0.5, 60.0);
+  add_indicator("average_income_kusd", 0, 25.0, 8.0, 1.0, 2.0, 5.0, 70.0);
+  add_indicator("time_dedicated_to_leisure_hours", 1, 14.5, 1.6, -1.0, 0.5,
+                8.0, 20.0);
+  add_indicator("unemployment_rate", 2, 8.0, 4.0, 1.0, 1.0, 0.5, 30.0);
+  add_indicator("long_term_unemployment_rate", 2, 3.5, 2.5, 1.0, 0.7, 0.0,
+                20.0);
+  add_indicator("female_unemployment_rate", 2, 8.5, 4.2, 1.0, 1.1, 0.5, 32.0);
+  add_indicator("pct_with_health_insurance", 3, 88.0, 8.0, 1.0, 2.0, 40.0,
+                100.0);
+  add_indicator("life_expectancy_years", 3, 79.0, 2.5, 1.0, 0.8, 65.0, 90.0);
+  add_indicator("health_spending_pct_gdp", 3, 9.0, 1.8, 1.0, 0.6, 3.0, 18.0);
+
+  // Generic indicators fill the rest, spread across the themes.
+  while (plans.size() < spec.indicator_columns) {
+    size_t theme = plans.size() % kNumThemes;
+    std::string name = std::string(kThemeNames[theme]) + "_ind_" +
+                       std::to_string(plans.size());
+    double loading = (rng.NextBernoulli(0.25) ? -1.0 : 1.0) *
+                     rng.NextUniform(0.6, 1.3);
+    double base = rng.NextUniform(10.0, 100.0);
+    double scale = base * rng.NextUniform(0.1, 0.3);
+    add_indicator(name, theme, base, scale, loading,
+                  scale * rng.NextUniform(0.15, 0.35), base - 6 * scale,
+                  base + 6 * scale);
+    if (rng.NextBernoulli(spec.nonlinear_fraction)) {
+      plans.back().transform = 1 + static_cast<int>(rng.NextBounded(3));
+    }
+  }
+
+  std::vector<monet::ColumnPtr> columns;
+  for (const Field& f : fields) {
+    auto col = std::make_shared<Column>(f.type);
+    col->Reserve(spec.rows);
+    columns.push_back(col);
+  }
+
+  // --- Rows ---------------------------------------------------------------
+  const size_t kRegions = 1515;  // "more than 1,500 regions"
+  for (size_t r = 0; r < spec.rows; ++r) {
+    size_t region = rng.NextBounded(kRegions);
+    size_t country = region % num_countries;
+    // Profile: the country's dominant profile, with 12% regional deviation.
+    int profile = kCountryProfile[country];
+    if (rng.NextBernoulli(0.12)) {
+      profile = static_cast<int>(rng.NextBounded(4));
+    }
+    out.truth.row_clusters.push_back(profile);
+
+    // Latent factors for this observation.
+    double factors[kNumThemes];
+    for (size_t t = 0; t < kNumThemes; ++t) {
+      factors[t] = kProfileMeans[profile][t] + 0.7 * rng.NextGaussian();
+    }
+
+    size_t i = 0;
+    columns[i++]->AppendInt(static_cast<int64_t>(r + 1));
+    columns[i++]->AppendString("R" + std::to_string(region) + "-" +
+                               kCountries[country]);
+    columns[i++]->AppendString(kCountries[country]);
+    for (const IndicatorPlan& plan : plans) {
+      if (rng.NextBernoulli(spec.missing_rate)) {
+        columns[i++]->AppendNull();
+        continue;
+      }
+      double x = factors[plan.theme];
+      switch (plan.transform) {
+        case 1:
+          x = x * x - 1.0;  // centered square: kills linear correlation
+          break;
+        case 2:
+          x = std::fabs(x) - 0.8;
+          break;
+        case 3:
+          x = 1.5 * std::sin(2.0 * x);
+          break;
+        default:
+          break;
+      }
+      double v = plan.base + plan.scale * plan.loading * x +
+                 rng.NextGaussian(0.0, plan.noise_sd);
+      columns[i++]->AppendDouble(Clamp(v, plan.lo, plan.hi));
+    }
+  }
+  out.table = *Table::Make(Schema(std::move(fields)), std::move(columns));
+  return out;
+}
+
+}  // namespace blaeu::workloads

@@ -1,0 +1,51 @@
+// Synthetic stand-in for the paper's Countries-and-Work dataset: OECD
+// regional indicators, "6,823 rows and 378 columns" over "1,500 regions
+// belonging to 31 different countries" (paper §4.2). Columns are organized
+// into named indicator themes (economy, labor conditions, unemployment,
+// health, well-being, education, environment, housing); rows are
+// region-year observations whose indicator values are driven by latent
+// per-theme factors, so MI-based theme detection and the Figure 1
+// navigation scenario (long working hours vs income vs unemployment) are
+// both exercised.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/dataset.h"
+
+namespace blaeu::workloads {
+
+/// OECD generator options.
+struct OecdSpec {
+  size_t rows = 6823;
+  /// Indicator columns (theme columns; identifiers come on top). The
+  /// default reproduces the paper's 378 total columns: 375 indicators +
+  /// region + country + region_id.
+  size_t indicator_columns = 375;
+  size_t num_countries = 31;
+  uint64_t seed = 42;
+  double missing_rate = 0.03;
+  /// Fraction of generic indicators that depend on their theme factor
+  /// through a non-linear transform (square, absolute value or sine).
+  /// Exercises the paper's argument for mutual information over linear
+  /// correlation as the dependency measure.
+  double nonlinear_fraction = 0.0;
+};
+
+/// Planted row clusters (truth.row_clusters) follow four development
+/// profiles that determine the latent factors:
+///   0 "work-life balance" — low long-hours share, high income, low unemp
+///   1 "long-hours high-income"
+///   2 "high-unemployment" — low income, high unemployment
+///   3 "average"
+/// Columns: region_id (PK, -1), region:string (-1), country:string (-1),
+/// then indicators with truth.column_themes in [0, 8): economy(0),
+/// labor(1), unemployment(2), health(3), wellbeing(4), education(5),
+/// environment(6), housing(7). The first labor columns reproduce the
+/// figure's names: "pct_employees_working_long_hours", "average_income_kusd",
+/// "time_dedicated_to_leisure_hours"; the first unemployment columns are
+/// "unemployment_rate", "long_term_unemployment_rate",
+/// "female_unemployment_rate".
+Dataset MakeOecd(const OecdSpec& spec = {});
+
+}  // namespace blaeu::workloads

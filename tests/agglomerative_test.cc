@@ -1,0 +1,102 @@
+// Unit tests for hierarchical agglomerative clustering.
+#include "cluster/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::DistanceMatrix;
+using stats::Matrix;
+
+DistanceMatrix LineDistances() {
+  // Points on a line: 0, 1, 10, 11 -> two natural pairs.
+  Matrix data(4, 1);
+  data.At(0, 0) = 0;
+  data.At(1, 0) = 1;
+  data.At(2, 0) = 10;
+  data.At(3, 0) = 11;
+  return DistanceMatrix::Euclidean(data);
+}
+
+TEST(AgglomerativeTest, DendrogramHasNMinusOneMerges) {
+  auto dendro = *AgglomerativeCluster(LineDistances(), Linkage::kSingle);
+  EXPECT_EQ(dendro.num_leaves, 4u);
+  EXPECT_EQ(dendro.merges.size(), 3u);
+  // Merge heights are non-decreasing for single linkage on a metric.
+  for (size_t i = 1; i < dendro.merges.size(); ++i) {
+    EXPECT_GE(dendro.merges[i].height, dendro.merges[i - 1].height - 1e-12);
+  }
+}
+
+TEST(AgglomerativeTest, CutToTwoFindsNaturalPairs) {
+  auto dendro = *AgglomerativeCluster(LineDistances(), Linkage::kSingle);
+  auto labels = *dendro.CutToK(2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(AgglomerativeTest, CutBoundsChecked) {
+  auto dendro = *AgglomerativeCluster(LineDistances(), Linkage::kComplete);
+  EXPECT_FALSE(dendro.CutToK(0).ok());
+  EXPECT_FALSE(dendro.CutToK(5).ok());
+  auto all = *dendro.CutToK(4);
+  std::set<int> labels(all.begin(), all.end());
+  EXPECT_EQ(labels.size(), 4u);  // every leaf its own cluster
+  auto one = *dendro.CutToK(1);
+  for (int l : one) EXPECT_EQ(l, 0);
+}
+
+TEST(AgglomerativeTest, SingleLinkageChainsCompleteDoesNot) {
+  // A chain of close points plus one far point. Single linkage keeps the
+  // chain together at k=2; complete linkage splits it.
+  Matrix data(6, 1);
+  for (size_t i = 0; i < 5; ++i) data.At(i, 0) = static_cast<double>(i);
+  data.At(5, 0) = 50.0;
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto single = *AgglomerativeToK(dist, Linkage::kSingle, 2);
+  std::set<int> chain_labels;
+  for (size_t i = 0; i < 5; ++i) chain_labels.insert(single.labels[i]);
+  EXPECT_EQ(chain_labels.size(), 1u);
+  EXPECT_NE(single.labels[5], single.labels[0]);
+}
+
+TEST(AgglomerativeTest, AverageLinkageRecoversBlobs) {
+  Rng rng(1);
+  Matrix data(60, 2);
+  std::vector<int> truth;
+  for (size_t i = 0; i < 60; ++i) {
+    int c = static_cast<int>(i / 20);
+    data.At(i, 0) = rng.NextGaussian(8.0 * c, 0.5);
+    data.At(i, 1) = rng.NextGaussian(0.0, 0.5);
+    truth.push_back(c);
+  }
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *AgglomerativeToK(dist, Linkage::kAverage, 3);
+  EXPECT_GT(stats::AdjustedRandIndex(result.labels, truth), 0.95);
+  EXPECT_EQ(result.medoids.size(), 3u);
+  for (size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(result.labels[result.medoids[m]], static_cast<int>(m));
+  }
+}
+
+TEST(AgglomerativeTest, SinglePointDendrogram) {
+  DistanceMatrix dist(1);
+  auto dendro = *AgglomerativeCluster(dist, Linkage::kAverage);
+  EXPECT_EQ(dendro.num_leaves, 1u);
+  EXPECT_TRUE(dendro.merges.empty());
+  auto labels = *dendro.CutToK(1);
+  EXPECT_EQ(labels, std::vector<int>{0});
+}
+
+TEST(AgglomerativeTest, EmptyInputRejected) {
+  DistanceMatrix dist(0);
+  EXPECT_FALSE(AgglomerativeCluster(dist, Linkage::kSingle).ok());
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

@@ -1,0 +1,151 @@
+// Unit tests for GROUP BY aggregation.
+#include "monet/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::monet {
+namespace {
+
+TablePtr SalesTable() {
+  TableBuilder b(Schema({{"region", DataType::kString},
+                         {"product", DataType::kString},
+                         {"amount", DataType::kDouble},
+                         {"units", DataType::kInt64}}));
+  struct Row {
+    const char* region;
+    const char* product;
+    double amount;
+    int64_t units;
+  };
+  Row rows[] = {
+      {"east", "a", 10.0, 1}, {"east", "b", 20.0, 2}, {"west", "a", 30.0, 3},
+      {"east", "a", 40.0, 4}, {"west", "b", 50.0, 5}, {"west", "b", 60.0, 6},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(b.AppendRow({Value::Str(r.region), Value::Str(r.product),
+                             Value::Double(r.amount), Value::Int(r.units)})
+                    .ok());
+  }
+  return *b.Finish();
+}
+
+TEST(GroupByTest, SingleKeyCountAndSum) {
+  auto t = SalesTable();
+  auto result = *GroupBy(*t, {"region"},
+                         {{AggFn::kCount, "", ""},
+                          {AggFn::kSum, "amount", ""}});
+  ASSERT_EQ(result->num_rows(), 2u);
+  // First-seen order: east, west.
+  EXPECT_EQ(result->GetValue(0, 0).AsString(), "east");
+  EXPECT_EQ(result->GetValue(0, 1).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 2).AsDouble(), 70.0);
+  EXPECT_EQ(result->GetValue(1, 0).AsString(), "west");
+  EXPECT_DOUBLE_EQ(result->GetValue(1, 2).AsDouble(), 140.0);
+}
+
+TEST(GroupByTest, MultiKeyGrouping) {
+  auto t = SalesTable();
+  auto result = *GroupBy(*t, {"region", "product"},
+                         {{AggFn::kCount, "", "n"}});
+  EXPECT_EQ(result->num_rows(), 4u);  // east-a, east-b, west-a, west-b
+  EXPECT_EQ(result->schema().field(2).name, "n");
+}
+
+TEST(GroupByTest, MeanMinMax) {
+  auto t = SalesTable();
+  auto result = *GroupBy(*t, {"region"},
+                         {{AggFn::kMean, "amount", ""},
+                          {AggFn::kMin, "units", ""},
+                          {AggFn::kMax, "units", ""}});
+  // east: amounts {10,20,40} mean 23.33; units min 1 max 4.
+  EXPECT_NEAR(result->GetValue(0, 1).AsDouble(), 70.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 2).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 3).AsDouble(), 4.0);
+}
+
+TEST(GroupByTest, CountDistinct) {
+  auto t = SalesTable();
+  auto result = *GroupBy(*t, {"region"},
+                         {{AggFn::kCountDistinct, "product", "products"}});
+  EXPECT_EQ(result->GetValue(0, 1).AsInt(), 2);  // east sells a and b
+  EXPECT_EQ(result->GetValue(1, 1).AsInt(), 2);
+}
+
+TEST(GroupByTest, SelectionRestricted) {
+  auto t = SalesTable();
+  SelectionVector sel({0, 1, 2});  // first three rows
+  auto result = *GroupBy(*t, sel, {"region"}, {{AggFn::kCount, "", ""}});
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->GetValue(0, 1).AsInt(), 2);  // east x2
+  EXPECT_EQ(result->GetValue(1, 1).AsInt(), 1);  // west x1
+}
+
+TEST(GroupByTest, NullKeysGroupTogether) {
+  TableBuilder b(Schema({{"k", DataType::kString},
+                         {"v", DataType::kDouble}}));
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::Double(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("x"), Value::Double(2)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::Double(3)}).ok());
+  auto t = *b.Finish();
+  auto result = *GroupBy(*t, {"k"}, {{AggFn::kSum, "v", ""}});
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_TRUE(result->GetValue(0, 0).is_null());
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 1).AsDouble(), 4.0);
+}
+
+TEST(GroupByTest, NullValuesSkippedInAggregates) {
+  TableBuilder b(Schema({{"k", DataType::kString},
+                         {"v", DataType::kDouble}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("x"), Value::Double(5)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("x"), Value::Null()}).ok());
+  auto t = *b.Finish();
+  auto result = *GroupBy(*t, {"k"},
+                         {{AggFn::kCount, "v", ""},
+                          {AggFn::kMean, "v", ""}});
+  EXPECT_EQ(result->GetValue(0, 1).AsInt(), 1);  // null not counted
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 2).AsDouble(), 5.0);
+}
+
+TEST(GroupByTest, AllNullGroupYieldsNullAggregate) {
+  TableBuilder b(Schema({{"k", DataType::kString},
+                         {"v", DataType::kDouble}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("x"), Value::Null()}).ok());
+  auto t = *b.Finish();
+  auto result = *GroupBy(*t, {"k"}, {{AggFn::kMean, "v", ""}});
+  EXPECT_TRUE(result->GetValue(0, 1).is_null());
+}
+
+TEST(GroupByTest, EmptyKeysIsGlobalAggregate) {
+  auto t = SalesTable();
+  auto result = *GroupBy(*t, {}, {{AggFn::kSum, "amount", "total"}});
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->GetValue(0, 0).AsDouble(), 210.0);
+}
+
+TEST(GroupByTest, ErrorsOnBadInputs) {
+  auto t = SalesTable();
+  EXPECT_EQ(GroupBy(*t, {"ghost"}, {{AggFn::kCount, "", ""}})
+                .status()
+                .code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(GroupBy(*t, {"region"}, {{AggFn::kSum, "product", ""}})
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(GroupBy(*t, {"region"}, {{AggFn::kSum, "", ""}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupByTest, DefaultOutputNames) {
+  AggSpec spec{AggFn::kMean, "amount", ""};
+  EXPECT_EQ(spec.OutputName(), "avg_amount");
+  AggSpec star{AggFn::kCount, "", ""};
+  EXPECT_EQ(star.OutputName(), "count");
+  AggSpec named{AggFn::kSum, "x", "total"};
+  EXPECT_EQ(named.OutputName(), "total");
+}
+
+}  // namespace
+}  // namespace blaeu::monet

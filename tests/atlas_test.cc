@@ -1,0 +1,104 @@
+// Unit tests for the atlas (per-theme map overview) and map stability.
+#include "core/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include "core/theme.h"
+#include "workloads/gaussian.h"
+
+namespace blaeu::core {
+namespace {
+
+using monet::SelectionVector;
+
+TEST(AtlasTest, OneEntryPerQualifyingTheme) {
+  auto data = workloads::MakeTwoThemeMixture(600, 4, 3, 3, 1);
+  auto themes = *DetectThemes(*data.table);
+  AtlasOptions opt;
+  opt.map.sample_size = 600;
+  auto atlas = *BuildAtlas(*data.table,
+                           SelectionVector::All(600), themes, opt);
+  EXPECT_EQ(atlas.entries.size(), themes.size());
+  for (const AtlasEntry& entry : atlas.entries) {
+    EXPECT_GE(entry.map.num_clusters, 1u);
+    EXPECT_EQ(entry.map.total_tuples, 600u);
+  }
+}
+
+TEST(AtlasTest, MinColumnsFilters) {
+  auto data = workloads::MakeTwoThemeMixture(400, 3, 2, 2, 2);
+  auto themes = *DetectThemes(*data.table);
+  AtlasOptions opt;
+  opt.min_theme_columns = 100;  // nothing qualifies
+  auto atlas = BuildAtlas(*data.table, SelectionVector::All(400), themes,
+                          opt);
+  EXPECT_FALSE(atlas.ok());
+}
+
+TEST(AtlasTest, StabilityHighOnSeparatedData) {
+  workloads::MixtureSpec spec;
+  spec.rows = 1200;
+  spec.num_clusters = 3;
+  spec.dims = 4;
+  spec.separation = 10.0;
+  auto data = workloads::MakeGaussianMixture(spec);
+  std::vector<std::string> cols;
+  for (const auto& f : data.table->schema().fields()) cols.push_back(f.name);
+  MapOptions opt;
+  opt.sample_size = 300;  // force real sampling variation
+  opt.fixed_k = 3;
+  double stability = *MapStability(*data.table,
+                                   SelectionVector::All(1200), cols, opt, 3);
+  EXPECT_GT(stability, 0.9);
+}
+
+TEST(AtlasTest, StabilityLowOnNoise) {
+  // Pure noise: maps from different samples disagree.
+  workloads::MixtureSpec spec;
+  spec.rows = 1200;
+  spec.num_clusters = 1;
+  spec.dims = 4;
+  auto data = workloads::MakeGaussianMixture(spec);
+  std::vector<std::string> cols;
+  for (const auto& f : data.table->schema().fields()) cols.push_back(f.name);
+  MapOptions opt;
+  opt.sample_size = 300;
+  opt.fixed_k = 3;  // forced spurious clusters
+  double stability = *MapStability(*data.table,
+                                   SelectionVector::All(1200), cols, opt, 3);
+  EXPECT_LT(stability, 0.9);
+}
+
+TEST(AtlasTest, StabilityDisabledReturnsZero) {
+  workloads::MixtureSpec spec;
+  spec.rows = 200;
+  spec.dims = 3;
+  auto data = workloads::MakeGaussianMixture(spec);
+  std::vector<std::string> cols;
+  for (const auto& f : data.table->schema().fields()) cols.push_back(f.name);
+  EXPECT_DOUBLE_EQ(*MapStability(*data.table, SelectionVector::All(200),
+                                 cols, {}, 1),
+                   0.0);
+}
+
+TEST(AtlasTest, RenderMentionsEveryTheme) {
+  auto data = workloads::MakeTwoThemeMixture(500, 4, 3, 2, 3);
+  auto themes = *DetectThemes(*data.table);
+  AtlasOptions opt;
+  opt.map.sample_size = 500;
+  opt.stability_replicas = 2;
+  auto atlas = *BuildAtlas(*data.table, SelectionVector::All(500), themes,
+                           opt);
+  std::string text = RenderAtlas(atlas, themes);
+  EXPECT_NE(text.find("Atlas ("), std::string::npos);
+  for (const AtlasEntry& entry : atlas.entries) {
+    EXPECT_NE(
+        text.find("theme " + std::to_string(entry.theme_id)),
+        std::string::npos);
+  }
+  EXPECT_NE(text.find("stability"), std::string::npos);
+  EXPECT_NE(text.find("splits on"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blaeu::core

@@ -1,0 +1,290 @@
+// Unit tests for the CART decision tree (the map-description stage).
+#include "tree/cart.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace blaeu::tree {
+namespace {
+
+using monet::DataType;
+using monet::Schema;
+using monet::TableBuilder;
+using monet::TablePtr;
+using monet::Value;
+
+std::vector<uint32_t> AllRows(size_t n) {
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return rows;
+}
+
+/// One numeric column; class 1 iff x > 10.
+TablePtr ThresholdTable(size_t n, std::vector<int>* labels) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  Rng rng(1);
+  labels->clear();
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextUniform(0.0, 20.0);
+    EXPECT_TRUE(b.AppendRow({Value::Double(x)}).ok());
+    labels->push_back(x > 10.0 ? 1 : 0);
+  }
+  return *b.Finish();
+}
+
+TEST(CartTest, LearnsSingleNumericThreshold) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  CartOptions opt;
+  opt.max_thresholds = 0;  // consider every midpoint: exact split expected
+  auto model = *CartModel::Train(*t, AllRows(200), labels, opt);
+  EXPECT_EQ(model.Depth(), 1u);
+  EXPECT_EQ(model.NumLeaves(), 2u);
+  EXPECT_DOUBLE_EQ(model.Fidelity(*t, AllRows(200), labels), 1.0);
+  // The learned threshold is near 10.
+  EXPECT_FALSE(model.root().is_leaf);
+  EXPECT_NEAR(model.root().threshold, 10.0, 0.5);
+}
+
+TEST(CartTest, LearnsCategoricalSplit) {
+  TableBuilder b(Schema({{"genre", DataType::kString}}));
+  std::vector<int> labels;
+  const char* genres[] = {"Action", "Drama", "Comedy", "Horror"};
+  Rng rng(2);
+  for (size_t i = 0; i < 200; ++i) {
+    const char* g = genres[rng.NextBounded(4)];
+    ASSERT_TRUE(b.AppendRow({Value::Str(g)}).ok());
+    // Class 1 for Action/Horror.
+    labels.push_back(
+        (std::string(g) == "Action" || std::string(g) == "Horror") ? 1 : 0);
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(200), labels);
+  EXPECT_DOUBLE_EQ(model.Fidelity(*t, AllRows(200), labels), 1.0);
+  EXPECT_TRUE(model.root().categorical_split);
+}
+
+TEST(CartTest, TwoLevelInteraction) {
+  // Class depends on both columns: x <= 5 -> 0; x > 5 & y <= 3 -> 1; else 2.
+  TableBuilder b(Schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}}));
+  std::vector<int> labels;
+  Rng rng(3);
+  for (size_t i = 0; i < 400; ++i) {
+    double x = rng.NextUniform(0, 10), y = rng.NextUniform(0, 6);
+    ASSERT_TRUE(b.AppendRow({Value::Double(x), Value::Double(y)}).ok());
+    labels.push_back(x <= 5 ? 0 : (y <= 3 ? 1 : 2));
+  }
+  TablePtr t = *b.Finish();
+  CartOptions opt;
+  opt.max_depth = 3;
+  auto model = *CartModel::Train(*t, AllRows(400), labels, opt);
+  EXPECT_GT(model.Fidelity(*t, AllRows(400), labels), 0.97);
+  EXPECT_GE(model.NumLeaves(), 3u);
+}
+
+TEST(CartTest, MaxDepthRespected) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(300, &labels);
+  // Noisy labels force deep trees unless capped.
+  Rng rng(4);
+  for (auto& l : labels) {
+    if (rng.NextBernoulli(0.3)) l = 1 - l;
+  }
+  CartOptions opt;
+  opt.max_depth = 2;
+  opt.min_samples_leaf = 1;
+  opt.min_samples_split = 2;
+  auto model = *CartModel::Train(*t, AllRows(300), labels, opt);
+  EXPECT_LE(model.Depth(), 2u);
+  EXPECT_LE(model.NumLeaves(), 4u);
+}
+
+TEST(CartTest, MinSamplesLeafRespected) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(100, &labels);
+  CartOptions opt;
+  opt.min_samples_leaf = 30;
+  auto model = *CartModel::Train(*t, AllRows(100), labels, opt);
+  // Count training rows at each leaf via prediction counts.
+  std::function<void(const CartNode&)> check = [&](const CartNode& node) {
+    if (node.is_leaf) {
+      EXPECT_GE(node.count, 30u);
+      return;
+    }
+    check(*node.left);
+    check(*node.right);
+  };
+  check(model.root());
+}
+
+TEST(CartTest, PureNodeStopsEarly) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels(50, 0);  // single class
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value::Double(static_cast<double>(i))}).ok());
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(50), labels);
+  EXPECT_TRUE(model.root().is_leaf);
+  EXPECT_EQ(model.Predict(*t, 0), 0);
+}
+
+TEST(CartTest, NullsRoutedConsistently) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels;
+  for (size_t i = 0; i < 60; ++i) {
+    if (i % 6 == 0) {
+      ASSERT_TRUE(b.AppendRow({Value::Null()}).ok());
+      labels.push_back(0);  // nulls share the low class
+    } else {
+      double x = static_cast<double>(i % 20);
+      ASSERT_TRUE(b.AppendRow({Value::Double(x)}).ok());
+      labels.push_back(x > 10 ? 1 : 0);
+    }
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(60), labels);
+  // Nulls must land in some leaf (no crash) and predictions are stable.
+  int p = model.Predict(*t, 0);
+  EXPECT_EQ(p, model.Predict(*t, 6));
+}
+
+TEST(CartTest, ClassFractionsSumToOne) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(150, &labels);
+  auto model = *CartModel::Train(*t, AllRows(150), labels);
+  double sum = 0;
+  for (double f : model.root().class_fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(CartTest, BranchConditionsMatchSplit) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  auto model = *CartModel::Train(*t, AllRows(200), labels);
+  ASSERT_FALSE(model.root().is_leaf);
+  monet::Condition left = model.BranchCondition(model.root(), true);
+  monet::Condition right = model.BranchCondition(model.root(), false);
+  EXPECT_EQ(left.op, monet::CompareOp::kLe);
+  EXPECT_EQ(right.op, monet::CompareOp::kGt);
+  EXPECT_EQ(left.column, "x");
+  // Every row satisfies exactly one branch (no nulls here).
+  for (uint32_t r = 0; r < 50; ++r) {
+    bool l = left.Matches(*t->column(0), r);
+    bool rr = right.Matches(*t->column(0), r);
+    EXPECT_NE(l, rr);
+  }
+}
+
+TEST(CartTest, EntropyCriterionAlsoWorks) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  CartOptions opt;
+  opt.criterion = SplitCriterion::kEntropy;
+  opt.max_thresholds = 0;
+  auto model = *CartModel::Train(*t, AllRows(200), labels, opt);
+  EXPECT_DOUBLE_EQ(model.Fidelity(*t, AllRows(200), labels), 1.0);
+}
+
+TEST(CartTest, CcpPruningCollapsesNoiseSplits) {
+  // Labels are mostly class 0 with 15% noise: an unpruned deep tree chases
+  // the noise, a pruned one collapses to few leaves at similar fidelity.
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels;
+  Rng rng(9);
+  for (size_t i = 0; i < 400; ++i) {
+    double x = rng.NextUniform(0, 20);
+    ASSERT_TRUE(b.AppendRow({Value::Double(x)}).ok());
+    int label = x > 10 ? 1 : 0;
+    if (rng.NextBernoulli(0.15)) label = 1 - label;
+    labels.push_back(label);
+  }
+  TablePtr t = *b.Finish();
+  CartOptions deep;
+  deep.max_depth = 8;
+  deep.min_samples_leaf = 2;
+  deep.min_samples_split = 4;
+  auto unpruned = *CartModel::Train(*t, AllRows(400), labels, deep);
+  CartOptions pruned_opt = deep;
+  pruned_opt.ccp_alpha = 0.01;
+  auto pruned = *CartModel::Train(*t, AllRows(400), labels, pruned_opt);
+  EXPECT_LT(pruned.NumLeaves(), unpruned.NumLeaves());
+  EXPECT_GE(pruned.NumLeaves(), 2u);  // the real split survives
+  // Pruning costs little training fidelity on this noise level.
+  EXPECT_GT(pruned.Fidelity(*t, AllRows(400), labels), 0.8);
+}
+
+TEST(CartTest, HugeAlphaPrunesToRoot) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  CartOptions opt;
+  opt.ccp_alpha = 1.0;  // prune everything
+  auto model = *CartModel::Train(*t, AllRows(200), labels, opt);
+  EXPECT_TRUE(model.root().is_leaf);
+}
+
+TEST(CartTest, ZeroAlphaKeepsTreeIntact) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  CartOptions base;
+  base.max_thresholds = 0;
+  auto a = *CartModel::Train(*t, AllRows(200), labels, base);
+  CartOptions with_zero = base;
+  with_zero.ccp_alpha = 0.0;
+  auto b2 = *CartModel::Train(*t, AllRows(200), labels, with_zero);
+  EXPECT_EQ(a.NumLeaves(), b2.NumLeaves());
+  EXPECT_EQ(a.Depth(), b2.Depth());
+}
+
+TEST(CartTest, InvalidInputsRejected) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(10, &labels);
+  EXPECT_FALSE(CartModel::Train(*t, {}, {}).ok());
+  EXPECT_FALSE(CartModel::Train(*t, AllRows(10), {0, 1}).ok());
+  std::vector<int> negative(10, -1);
+  EXPECT_FALSE(CartModel::Train(*t, AllRows(10), negative).ok());
+}
+
+TEST(CartTest, FeatureImportancesIdentifySplitColumn) {
+  // Two columns, only x carries signal.
+  TableBuilder b(Schema({{"x", DataType::kDouble}, {"noise", DataType::kDouble}}));
+  std::vector<int> labels;
+  Rng rng(12);
+  for (size_t i = 0; i < 300; ++i) {
+    double x = rng.NextUniform(0, 10);
+    ASSERT_TRUE(b.AppendRow({Value::Double(x),
+                             Value::Double(rng.NextGaussian())})
+                    .ok());
+    labels.push_back(x > 5 ? 1 : 0);
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(300), labels);
+  std::vector<double> importance = model.FeatureImportances();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[0], 0.9);
+  EXPECT_NEAR(importance[0] + importance[1], 1.0, 1e-9);
+}
+
+TEST(CartTest, SingleLeafTreeHasZeroImportances) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels(20, 0);
+  for (size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value::Double(1.0)}).ok());
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(20), labels);
+  for (double v : model.FeatureImportances()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CartTest, ToStringShowsSplits) {
+  std::vector<int> labels;
+  TablePtr t = ThresholdTable(200, &labels);
+  auto model = *CartModel::Train(*t, AllRows(200), labels);
+  std::string text = model.ToString();
+  EXPECT_NE(text.find("if x <="), std::string::npos);
+  EXPECT_NE(text.find("class"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blaeu::tree

@@ -1,0 +1,101 @@
+// Unit tests for the catalog and Select-Project query execution.
+#include "monet/catalog.h"
+#include "monet/query.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::monet {
+namespace {
+
+TablePtr SmallTable() {
+  TableBuilder b(Schema({{"x", DataType::kInt64},
+                         {"name", DataType::kString}}));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(
+        b.AppendRow({Value::Int(i), Value::Str("n" + std::to_string(i))})
+            .ok());
+  }
+  return *b.Finish();
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("t", SmallTable()).ok());
+  EXPECT_TRUE(cat.Contains("t"));
+  EXPECT_EQ(cat.size(), 1u);
+  auto t = cat.Get("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 5u);
+  EXPECT_EQ(cat.Register("t", SmallTable()).code(),
+            StatusCode::kInvalidArgument);  // duplicate
+  ASSERT_TRUE(cat.Drop("t").ok());
+  EXPECT_FALSE(cat.Contains("t"));
+  EXPECT_EQ(cat.Drop("t").code(), StatusCode::kKeyError);
+  EXPECT_EQ(cat.Get("t").status().code(), StatusCode::kKeyError);
+}
+
+TEST(CatalogTest, RegisterOrReplaceOverwrites) {
+  Catalog cat;
+  cat.RegisterOrReplace("t", SmallTable());
+  cat.RegisterOrReplace("t", SmallTable()->Take({0}));
+  EXPECT_EQ((*cat.Get("t"))->num_rows(), 1u);
+}
+
+TEST(CatalogTest, ListIsSorted) {
+  Catalog cat;
+  cat.RegisterOrReplace("zeta", SmallTable());
+  cat.RegisterOrReplace("alpha", SmallTable());
+  EXPECT_EQ(cat.List(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(CatalogTest, NullTableRejected) {
+  Catalog cat;
+  EXPECT_EQ(cat.Register("t", nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, SqlRendering) {
+  SelectProjectQuery q;
+  q.table_name = "movies";
+  q.columns = {"budget", "gross"};
+  q.where.Add(Condition::Compare("budget", CompareOp::kGe,
+                                 Value::Double(100)));
+  EXPECT_EQ(q.ToSql(),
+            "SELECT \"budget\", \"gross\" FROM \"movies\" WHERE "
+            "\"budget\" >= 100;");
+  SelectProjectQuery star;
+  star.table_name = "t";
+  EXPECT_EQ(star.ToSql(), "SELECT * FROM \"t\";");
+}
+
+TEST(QueryTest, ExecutesAgainstCatalog) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("t", SmallTable()).ok());
+  SelectProjectQuery q;
+  q.table_name = "t";
+  q.columns = {"name"};
+  q.where.Add(Condition::Compare("x", CompareOp::kGt, Value::Int(2)));
+  auto result = q.Execute(cat);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 2u);
+  EXPECT_EQ((*result)->num_columns(), 1u);
+  EXPECT_EQ((*result)->GetValue(0, 0).AsString(), "n3");
+}
+
+TEST(QueryTest, MissingTableFails) {
+  Catalog cat;
+  SelectProjectQuery q;
+  q.table_name = "ghost";
+  EXPECT_EQ(q.Execute(cat).status().code(), StatusCode::kKeyError);
+}
+
+TEST(QueryTest, MissingColumnFails) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("t", SmallTable()).ok());
+  SelectProjectQuery q;
+  q.table_name = "t";
+  q.columns = {"nope"};
+  EXPECT_EQ(q.Execute(cat).status().code(), StatusCode::kKeyError);
+}
+
+}  // namespace
+}  // namespace blaeu::monet

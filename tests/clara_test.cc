@@ -1,0 +1,113 @@
+// Unit tests for CLARA, the sampling-based PAM used on large selections.
+#include "cluster/clara.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/pam.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::Matrix;
+
+Matrix Blobs(size_t k, size_t per, double gap, uint64_t seed,
+             std::vector<int>* truth) {
+  Rng rng(seed);
+  Matrix data(k * per, 2);
+  truth->clear();
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      size_t row = c * per + i;
+      data.At(row, 0) = rng.NextGaussian(gap * static_cast<double>(c), 0.5);
+      data.At(row, 1) = rng.NextGaussian(0.0, 0.5);
+      truth->push_back(static_cast<int>(c));
+    }
+  }
+  return data;
+}
+
+RowDistanceFn Euclid(const Matrix& data) {
+  return [&data](size_t i, size_t j) {
+    return stats::EuclideanDistance(data.RowPtr(i), data.RowPtr(j),
+                                    data.cols());
+  };
+}
+
+TEST(ClaraTest, RecoversPlantedClustersAtScale) {
+  std::vector<int> truth;
+  Matrix data = Blobs(4, 2500, 12.0, 1, &truth);  // 10k points
+  ClaraOptions opt;
+  opt.seed = 3;
+  auto result = *Clara(data.rows(), Euclid(data), 4, opt);
+  EXPECT_EQ(result.num_clusters(), 4u);
+  EXPECT_GT(stats::AdjustedRandIndex(result.labels, truth), 0.97);
+}
+
+TEST(ClaraTest, CostCloseToExactPamOnModerateInput) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 80, 8.0, 2, &truth);  // 240 points: PAM feasible
+  stats::DistanceMatrix dist = stats::DistanceMatrix::Euclidean(data);
+  auto exact = *Pam(dist, 3);
+  ClaraOptions opt;
+  opt.num_samples = 5;
+  auto approx = *Clara(data.rows(), Euclid(data), 3, opt);
+  EXPECT_LE(approx.total_cost, exact.total_cost * 1.10);  // within 10%
+}
+
+TEST(ClaraTest, EveryPointAssignedToNearestMedoid) {
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 500, 9.0, 4, &truth);
+  auto dist_fn = Euclid(data);
+  auto result = *Clara(data.rows(), dist_fn, 2);
+  for (size_t i = 0; i < data.rows(); i += 37) {
+    double assigned = dist_fn(i, result.medoids[result.labels[i]]);
+    for (size_t m : result.medoids) {
+      EXPECT_LE(assigned, dist_fn(i, m) + 1e-12);
+    }
+  }
+}
+
+TEST(ClaraTest, DeterministicGivenSeed) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 300, 7.0, 5, &truth);
+  ClaraOptions opt;
+  opt.seed = 77;
+  auto a = *Clara(data.rows(), Euclid(data), 3, opt);
+  auto b = *Clara(data.rows(), Euclid(data), 3, opt);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(ClaraTest, SampleSizeDefaultsToKaufmanRousseeuw) {
+  // With n smaller than 40+2k CLARA degenerates into exact PAM: still valid.
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 15, 10.0, 6, &truth);
+  auto result = *Clara(data.rows(), Euclid(data), 2);
+  EXPECT_GT(stats::AdjustedRandIndex(result.labels, truth), 0.95);
+}
+
+TEST(ClaraTest, InvalidKRejected) {
+  std::vector<int> truth;
+  Matrix data = Blobs(1, 5, 1.0, 7, &truth);
+  EXPECT_FALSE(Clara(data.rows(), Euclid(data), 0).ok());
+  EXPECT_FALSE(Clara(data.rows(), Euclid(data), 6).ok());
+}
+
+TEST(ClaraTest, MoreSamplesNeverHurtCostMuch) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 400, 6.0, 8, &truth);
+  ClaraOptions one;
+  one.num_samples = 1;
+  one.seed = 9;
+  ClaraOptions five;
+  five.num_samples = 5;
+  five.seed = 9;
+  auto r1 = *Clara(data.rows(), Euclid(data), 3, one);
+  auto r5 = *Clara(data.rows(), Euclid(data), 3, five);
+  EXPECT_LE(r5.total_cost, r1.total_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

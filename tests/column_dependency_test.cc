@@ -1,0 +1,140 @@
+// Unit tests for the column dependency measure (the Figure 2 edge weights).
+#include "stats/column_dependency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "monet/table.h"
+
+namespace blaeu::stats {
+namespace {
+
+using monet::DataType;
+using monet::Schema;
+using monet::TableBuilder;
+using monet::TablePtr;
+using monet::Value;
+
+/// Builds a table with: x uniform; y = x^2 (nonlinear dependence);
+/// z independent noise; cat a category tracking sign(x).
+TablePtr DependencyTable(size_t n, uint64_t seed) {
+  TableBuilder b(Schema({{"x", DataType::kDouble},
+                         {"y", DataType::kDouble},
+                         {"z", DataType::kDouble},
+                         {"cat", DataType::kString}}));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextUniform(-3.0, 3.0);
+    EXPECT_TRUE(b.AppendRow({Value::Double(x), Value::Double(x * x),
+                             Value::Double(rng.NextGaussian()),
+                             Value::Str(x > 0 ? "pos" : "neg")})
+                    .ok());
+  }
+  return *b.Finish();
+}
+
+std::vector<uint32_t> AllRows(size_t n) {
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return rows;
+}
+
+TEST(EncodeTest, CategoricalDictionaryCoding) {
+  auto t = DependencyTable(50, 1);
+  std::vector<int> codes =
+      EncodeColumnDiscrete(*t->column(3), AllRows(50), 8);
+  for (int c : codes) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 1);
+  }
+}
+
+TEST(EncodeTest, NullsGetOwnCode) {
+  monet::Column col(DataType::kDouble);
+  col.AppendDouble(1);
+  col.AppendNull();
+  col.AppendDouble(2);
+  std::vector<int> codes = EncodeColumnDiscrete(col, {0, 1, 2}, 4);
+  EXPECT_EQ(codes[1], -1);
+  EXPECT_GE(codes[0], 0);
+}
+
+TEST(DependencyTest, NonlinearDependenceDetectedByMI) {
+  auto t = DependencyTable(2000, 2);
+  DependencyOptions mi;
+  mi.sample_rows = 0;
+  double dep_xy = ColumnDependency(*t, 0, 1, AllRows(2000), mi);
+  double dep_xz = ColumnDependency(*t, 0, 2, AllRows(2000), mi);
+  EXPECT_GT(dep_xy, 0.5);   // y = x^2 strongly dependent
+  EXPECT_LT(dep_xz, 0.15);  // noise independent
+}
+
+TEST(DependencyTest, PearsonMissesNonlinearMIFinds) {
+  // The paper's reason for choosing MI: sensitivity to non-linear
+  // relationships. y = x^2 on symmetric x has |Pearson| ~ 0.
+  auto t = DependencyTable(2000, 3);
+  DependencyOptions pearson;
+  pearson.measure = DependencyMeasure::kAbsPearson;
+  pearson.sample_rows = 0;
+  DependencyOptions mi;
+  mi.sample_rows = 0;
+  double p = ColumnDependency(*t, 0, 1, AllRows(2000), pearson);
+  double m = ColumnDependency(*t, 0, 1, AllRows(2000), mi);
+  EXPECT_LT(p, 0.15);
+  EXPECT_GT(m, 0.5);
+}
+
+TEST(DependencyTest, MixedTypePairsUseMIEvenUnderCorrelationMeasure) {
+  auto t = DependencyTable(500, 4);
+  DependencyOptions pearson;
+  pearson.measure = DependencyMeasure::kAbsPearson;
+  pearson.sample_rows = 0;
+  // x vs cat: cat tracks sign(x), strong dependence; correlation is not
+  // defined for strings so the implementation falls back to NMI.
+  double dep = ColumnDependency(*t, 0, 3, AllRows(500), pearson);
+  EXPECT_GT(dep, 0.3);
+}
+
+TEST(DependencyMatrixTest, SymmetricUnitDiagonal) {
+  auto t = DependencyTable(800, 5);
+  DependencyOptions opt;
+  opt.sample_rows = 400;
+  auto dep = *DependencyMatrix(*t, opt);
+  ASSERT_EQ(dep.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(dep[i][i], 1.0);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(dep[i][j], dep[j][i]);
+      EXPECT_GE(dep[i][j], 0.0);
+      EXPECT_LE(dep[i][j], 1.0);
+    }
+  }
+  EXPECT_GT(dep[0][1], dep[0][2]);  // x-y beats x-noise
+}
+
+TEST(DependencyMatrixTest, SamplingApproximatesFull) {
+  auto t = DependencyTable(3000, 6);
+  DependencyOptions full;
+  full.sample_rows = 0;
+  DependencyOptions sampled;
+  sampled.sample_rows = 600;
+  auto dep_full = *DependencyMatrix(*t, full);
+  auto dep_sample = *DependencyMatrix(*t, sampled);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(dep_full[i][j], dep_sample[i][j], 0.12);
+    }
+  }
+}
+
+TEST(DependencyMatrixTest, EmptyTableFails) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  auto t = *b.Finish();
+  DependencyOptions opt;
+  EXPECT_FALSE(DependencyMatrix(*t, opt).ok());
+}
+
+}  // namespace
+}  // namespace blaeu::stats

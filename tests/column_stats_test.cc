@@ -1,0 +1,89 @@
+// Unit tests for column statistics and primary-key detection.
+#include "monet/column_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace blaeu::monet {
+namespace {
+
+TEST(ColumnStatsTest, NumericMoments) {
+  Column col(DataType::kDouble);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) col.AppendDouble(v);
+  col.AppendNull();
+  ColumnStats s = ComputeColumnStats(col);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.null_count, 1u);
+  EXPECT_EQ(s.distinct, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(ColumnStatsTest, TopValuesSortedByFrequency) {
+  Column col(DataType::kString);
+  for (const char* v : {"a", "b", "a", "c", "a", "b"}) col.AppendString(v);
+  ColumnStats s = ComputeColumnStats(col);
+  ASSERT_GE(s.top_values.size(), 3u);
+  EXPECT_EQ(s.top_values[0].first, "a");
+  EXPECT_EQ(s.top_values[0].second, 3u);
+  EXPECT_EQ(s.top_values[1].first, "b");
+}
+
+TEST(ColumnStatsTest, SelectionRestricted) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) col.AppendInt(i);
+  SelectionVector sel({0, 1, 2});
+  ColumnStats s = ComputeColumnStats(col, sel);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(ColumnStatsTest, UniqueKeyDetection) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 5; ++i) col.AppendInt(i);
+  EXPECT_TRUE(ComputeColumnStats(col).IsUniqueKey());
+  col.AppendInt(0);  // duplicate
+  EXPECT_FALSE(ComputeColumnStats(col).IsUniqueKey());
+}
+
+TablePtr KeyedTable() {
+  TableBuilder b(Schema({{"movie_id", DataType::kInt64},
+                         {"title", DataType::kString},
+                         {"score", DataType::kDouble},
+                         {"genre", DataType::kString}}));
+  const char* genres[] = {"a", "b", "a", "b"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(b.AppendRow({Value::Int(i), Value::Str("t" + std::to_string(i)),
+                             Value::Double(i * 0.5), Value::Str(genres[i])})
+                    .ok());
+  }
+  return *b.Finish();
+}
+
+TEST(PrimaryKeyTest, DetectsIdNamesAndUniqueColumns) {
+  auto table = KeyedTable();
+  std::vector<size_t> keys = DetectPrimaryKeyColumns(*table);
+  // movie_id by name, title by uniqueness; score is a unique double but
+  // doubles are not flagged; genre repeats.
+  EXPECT_EQ(keys, (std::vector<size_t>{0, 1}));
+}
+
+TEST(LooksCategoricalTest, TypesAndCardinality) {
+  Column s(DataType::kString);
+  s.AppendString("x");
+  EXPECT_TRUE(LooksCategorical(s, ComputeColumnStats(s)));
+
+  Column year(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) year.AppendInt(2007 + (i % 7));
+  EXPECT_TRUE(LooksCategorical(year, ComputeColumnStats(year)));
+
+  Column cont(DataType::kDouble);
+  for (int i = 0; i < 100; ++i) cont.AppendDouble(i * 0.37);
+  EXPECT_FALSE(LooksCategorical(cont, ComputeColumnStats(cont)));
+}
+
+}  // namespace
+}  // namespace blaeu::monet

@@ -1,0 +1,124 @@
+// Unit tests for CSV import/export and type inference.
+#include "monet/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace blaeu::monet {
+namespace {
+
+Result<TablePtr> Parse(const std::string& text, CsvOptions options = {}) {
+  std::istringstream in(text);
+  return ReadCsv(in, options);
+}
+
+TEST(CsvTest, InfersTypesPerColumn) {
+  auto t = *Parse("a,b,c,d\n1,1.5,hello,true\n2,2.5,world,false\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kDouble);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t->schema().field(3).type, DataType::kBool);
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, IntWidensToDouble) {
+  auto t = *Parse("x\n1\n2.5\n3\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kDouble);
+  EXPECT_DOUBLE_EQ(t->column(0)->doubles()[0], 1.0);
+}
+
+TEST(CsvTest, MixedWithStringBecomesString) {
+  auto t = *Parse("x\n1\nabc\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+}
+
+TEST(CsvTest, BoolMixedWithNumberBecomesString) {
+  auto t = *Parse("x\ntrue\n3\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+}
+
+TEST(CsvTest, NullTokens) {
+  auto t = *Parse("x,y\n1,NA\n,2\nNULL,3\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->column(0)->null_count(), 2u);
+  EXPECT_EQ(t->column(1)->null_count(), 1u);
+}
+
+TEST(CsvTest, AllNullColumnIsString) {
+  auto t = *Parse("x\nNA\nNA\n");
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t->column(0)->null_count(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndQuotes) {
+  auto t = *Parse("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t->GetValue(0, 0).AsString(), "x,y");
+  EXPECT_EQ(t->GetValue(0, 1).AsString(), "he said \"hi\"");
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions opt;
+  opt.has_header = false;
+  auto t = *Parse("1,2\n3,4\n", opt);
+  EXPECT_EQ(t->schema().field(0).name, "c0");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opt;
+  opt.delimiter = ';';
+  auto t = *Parse("a;b\n1;2\n", opt);
+  EXPECT_EQ(t->num_columns(), 2u);
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  auto r = Parse("a,b\n1,2\n3\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, TypeContradictionAfterInferenceWindowFails) {
+  CsvOptions opt;
+  opt.inference_rows = 2;
+  auto r = Parse("x\n1\n2\nnot_a_number\n", opt);
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(CsvTest, EmptyInputFails) {
+  auto r = Parse("");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto r = Parse("a\n\"oops\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, CrlfTolerated) {
+  auto t = *Parse("a,b\r\n1,2\r\n");
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 1).AsInt(), 2);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  auto t1 = *Parse("id,name,score,flag\n1,alpha,1.5,true\n2,\"b,c\",NA,false\n");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*t1, out).ok());
+  auto t2 = *Parse(out.str());
+  ASSERT_EQ(t2->num_rows(), t1->num_rows());
+  ASSERT_EQ(t2->num_columns(), t1->num_columns());
+  for (size_t r = 0; r < t1->num_rows(); ++r) {
+    for (size_t c = 0; c < t1->num_columns(); ++c) {
+      EXPECT_EQ(t1->GetValue(r, c), t2->GetValue(r, c))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(CsvTest, FileMissingFails) {
+  auto r = ReadCsvFile("/nonexistent/definitely_missing.csv");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace blaeu::monet

@@ -1,0 +1,133 @@
+// Unit tests for DBSCAN and its adaptation into map-ready clusterings.
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::DistanceMatrix;
+using stats::Matrix;
+
+TEST(DbscanTest, FindsTwoBlobsAndNoise) {
+  Rng rng(1);
+  Matrix data(45, 2);
+  std::vector<int> truth;
+  for (size_t i = 0; i < 20; ++i) {
+    data.At(i, 0) = rng.NextGaussian(0.0, 0.3);
+    data.At(i, 1) = rng.NextGaussian(0.0, 0.3);
+    truth.push_back(0);
+  }
+  for (size_t i = 20; i < 40; ++i) {
+    data.At(i, 0) = rng.NextGaussian(10.0, 0.3);
+    data.At(i, 1) = rng.NextGaussian(0.0, 0.3);
+    truth.push_back(1);
+  }
+  // 5 far-flung noise points.
+  for (size_t i = 40; i < 45; ++i) {
+    data.At(i, 0) = 100.0 + 20.0 * static_cast<double>(i);
+    data.At(i, 1) = -50.0;
+    truth.push_back(-1);
+  }
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  DbscanOptions opt;
+  opt.eps = 1.5;
+  opt.min_points = 4;
+  auto result = *Dbscan(dist, opt);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.num_noise, 5u);
+  for (size_t i = 40; i < 45; ++i) EXPECT_EQ(result.labels[i], -1);
+  // Blob members share labels.
+  for (size_t i = 1; i < 20; ++i) EXPECT_EQ(result.labels[i], result.labels[0]);
+}
+
+TEST(DbscanTest, DetectsNonConvexShape) {
+  // Two concentric rings: k-means cannot separate them, DBSCAN can — the
+  // "arbitrarily shaped clusters" requirement of paper §3.
+  Matrix data(80, 2);
+  std::vector<int> truth;
+  for (size_t i = 0; i < 40; ++i) {
+    double angle = 2.0 * M_PI * static_cast<double>(i) / 40.0;
+    data.At(i, 0) = std::cos(angle);
+    data.At(i, 1) = std::sin(angle);
+    truth.push_back(0);
+  }
+  for (size_t i = 40; i < 80; ++i) {
+    double angle = 2.0 * M_PI * static_cast<double>(i - 40) / 40.0;
+    data.At(i, 0) = 6.0 * std::cos(angle);
+    data.At(i, 1) = 6.0 * std::sin(angle);
+    truth.push_back(1);
+  }
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  DbscanOptions opt;
+  opt.eps = 1.2;
+  opt.min_points = 3;
+  auto result = *Dbscan(dist, opt);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_GT(stats::AdjustedRandIndex(result.labels, truth), 0.99);
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTiny) {
+  Matrix data(10, 1);
+  for (size_t i = 0; i < 10; ++i) data.At(i, 0) = static_cast<double>(i * 10);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  DbscanOptions opt;
+  opt.eps = 0.1;
+  opt.min_points = 2;
+  auto result = *Dbscan(dist, opt);
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(result.num_noise, 10u);
+}
+
+TEST(DbscanTest, InvalidOptionsRejected) {
+  DistanceMatrix dist(3);
+  DbscanOptions bad_eps;
+  bad_eps.eps = 0.0;
+  EXPECT_FALSE(Dbscan(dist, bad_eps).ok());
+  DbscanOptions bad_min;
+  bad_min.min_points = 0;
+  EXPECT_FALSE(Dbscan(dist, bad_min).ok());
+}
+
+TEST(DbscanToClusteringTest, NoiseAttachedToNearestCluster) {
+  Matrix data(7, 1);
+  for (size_t i = 0; i < 3; ++i) data.At(i, 0) = static_cast<double>(i) * 0.1;
+  for (size_t i = 3; i < 6; ++i) {
+    data.At(i, 0) = 10.0 + static_cast<double>(i) * 0.1;
+  }
+  data.At(6, 0) = 9.0;  // noise, closer to the second blob
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  DbscanOptions opt;
+  opt.eps = 0.5;
+  opt.min_points = 2;
+  auto raw = *Dbscan(dist, opt);
+  ASSERT_EQ(raw.num_clusters, 2u);
+  ASSERT_EQ(raw.labels[6], -1);
+  ClusteringResult adapted = DbscanToClustering(raw, dist);
+  EXPECT_EQ(adapted.labels[6], adapted.labels[3]);
+  EXPECT_EQ(adapted.medoids.size(), 2u);
+  std::set<int> labels(adapted.labels.begin(), adapted.labels.end());
+  EXPECT_EQ(labels.size(), 2u);  // no -1 anymore
+}
+
+TEST(DbscanToClusteringTest, AllNoiseBecomesOneCluster) {
+  Matrix data(4, 1);
+  for (size_t i = 0; i < 4; ++i) data.At(i, 0) = static_cast<double>(i * 100);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  DbscanOptions opt;
+  opt.eps = 0.5;
+  opt.min_points = 2;
+  auto raw = *Dbscan(dist, opt);
+  ClusteringResult adapted = DbscanToClustering(raw, dist);
+  for (int l : adapted.labels) EXPECT_EQ(l, 0);
+  EXPECT_EQ(adapted.medoids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

@@ -1,0 +1,120 @@
+// Unit tests for distance functions and matrices.
+#include "stats/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace blaeu::stats {
+namespace {
+
+TEST(EuclideanTest, KnownValues) {
+  double a[] = {0, 0};
+  double b[] = {3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b, 2), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a, 2), 0.0);
+}
+
+TEST(ManhattanTest, KnownValues) {
+  double a[] = {1, -1, 2};
+  double b[] = {2, 1, 0};
+  EXPECT_DOUBLE_EQ(ManhattanDistance(a, b, 3), 5.0);
+}
+
+TEST(GowerTest, MixedFeatures) {
+  // Feature 0 numeric with range 10; feature 1 categorical.
+  Matrix data(3, 2);
+  data.At(0, 0) = 0;
+  data.At(1, 0) = 10;
+  data.At(2, 0) = 5;
+  data.At(0, 1) = 0;
+  data.At(1, 1) = 0;
+  data.At(2, 1) = 1;
+  GowerDistance gower = GowerDistance::Fit(data, {false, true});
+  // Rows 0,1: numeric diff 10/10 = 1, categorical same: (1 + 0) / 2.
+  EXPECT_DOUBLE_EQ(gower(data.RowPtr(0), data.RowPtr(1)), 0.5);
+  // Rows 0,2: numeric 0.5, categorical mismatch 1 -> 0.75.
+  EXPECT_DOUBLE_EQ(gower(data.RowPtr(0), data.RowPtr(2)), 0.75);
+}
+
+TEST(GowerTest, MissingValuesSkipped) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  Matrix data(2, 2);
+  data.At(0, 0) = 0;
+  data.At(1, 0) = 5;
+  data.At(0, 1) = kNaN;
+  data.At(1, 1) = 1;
+  GowerDistance gower({false, true}, {10.0, 0.0});
+  // Only feature 0 comparable: |0-5|/10 = 0.5.
+  EXPECT_DOUBLE_EQ(gower(data.RowPtr(0), data.RowPtr(1)), 0.5);
+}
+
+TEST(GowerTest, NoComparableFeaturesIsMaxDistance) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  Matrix data(2, 1);
+  data.At(0, 0) = kNaN;
+  data.At(1, 0) = 1.0;
+  GowerDistance gower({false}, {1.0});
+  EXPECT_DOUBLE_EQ(gower(data.RowPtr(0), data.RowPtr(1)), 1.0);
+}
+
+TEST(GowerTest, ZeroRangeFeatureContributesNothing) {
+  Matrix data(2, 2);
+  data.At(0, 0) = 7;
+  data.At(1, 0) = 7;  // constant feature
+  data.At(0, 1) = 0;
+  data.At(1, 1) = 4;
+  GowerDistance gower = GowerDistance::Fit(data, {false, false});
+  EXPECT_DOUBLE_EQ(gower(data.RowPtr(0), data.RowPtr(1)), 0.5);  // (0+1)/2
+}
+
+TEST(DistanceMatrixTest, SymmetricWithZeroDiagonal) {
+  Matrix data(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    data.At(i, 0) = static_cast<double>(i);
+    data.At(i, 1) = static_cast<double>(i * i);
+  }
+  DistanceMatrix d = DistanceMatrix::Euclidean(data);
+  EXPECT_EQ(d.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(d.At(i, i), 0.0);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(d.At(i, j), d.At(j, i));
+    }
+  }
+  EXPECT_DOUBLE_EQ(d.At(0, 1), EuclideanDistance(data.RowPtr(0),
+                                                 data.RowPtr(1), 2));
+}
+
+TEST(DistanceMatrixTest, TriangleInequalityHolds) {
+  Matrix data(5, 3);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t f = 0; f < 3; ++f) {
+      data.At(i, f) = static_cast<double>((i * 7 + f * 3) % 11);
+    }
+  }
+  DistanceMatrix d = DistanceMatrix::Euclidean(data);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      for (size_t k = 0; k < 5; ++k) {
+        EXPECT_LE(d.At(i, j), d.At(i, k) + d.At(k, j) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, TakeRows) {
+  Matrix m(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    m.At(i, 0) = static_cast<double>(i);
+    m.At(i, 1) = static_cast<double>(i * 10);
+  }
+  Matrix t = m.TakeRows({2, 0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace blaeu::stats

@@ -1,0 +1,89 @@
+// Unit tests for the weighted dependency graph.
+#include "cluster/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::cluster {
+namespace {
+
+TEST(GraphTest, WeightsAreSymmetric) {
+  Graph g(4);
+  g.SetWeight(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(g.Weight(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(g.Weight(2, 0), 0.7);
+  EXPECT_DOUBLE_EQ(g.Weight(0, 1), 0.0);
+}
+
+TEST(GraphTest, NamedVertices) {
+  Graph g({"unemployment", "health", "income"});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.name(1), "health");
+}
+
+TEST(GraphTest, CountEdgesAboveThreshold) {
+  Graph g(3);
+  g.SetWeight(0, 1, 0.5);
+  g.SetWeight(1, 2, 0.2);
+  EXPECT_EQ(g.CountEdges(0.0), 2u);
+  EXPECT_EQ(g.CountEdges(0.3), 1u);
+  EXPECT_EQ(g.CountEdges(0.9), 0u);
+}
+
+TEST(GraphTest, ConnectedComponentsLikeFigure2) {
+  // Figure 2: two dependency groups — {unemp, lt_unemp, female_unemp} and
+  // {insurance, life_exp, spending} — with no cross edges.
+  Graph g({"unemp", "lt_unemp", "female_unemp", "insurance", "life_exp",
+           "spending"});
+  g.SetWeight(0, 1, 0.8);
+  g.SetWeight(0, 2, 0.7);
+  g.SetWeight(1, 2, 0.6);
+  g.SetWeight(3, 4, 0.9);
+  g.SetWeight(4, 5, 0.5);
+  std::vector<int> comp = g.ConnectedComponents(0.1);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(GraphTest, ThresholdSplitsComponents) {
+  Graph g(3);
+  g.SetWeight(0, 1, 0.9);
+  g.SetWeight(1, 2, 0.2);
+  std::vector<int> loose = g.ConnectedComponents(0.1);
+  EXPECT_EQ(loose[0], loose[2]);
+  std::vector<int> tight = g.ConnectedComponents(0.5);
+  EXPECT_NE(tight[0], tight[2]);
+  EXPECT_EQ(tight[0], tight[1]);
+}
+
+TEST(GraphTest, IsolatedVerticesGetOwnComponents) {
+  Graph g(3);
+  std::vector<int> comp = g.ConnectedComponents(0.0);
+  EXPECT_EQ(comp, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GraphTest, DotOutputContainsVerticesAndEdges) {
+  Graph g({"alpha", "beta"});
+  g.SetWeight(0, 1, 0.42);
+  std::string dot = g.ToDot(0.0);
+  EXPECT_NE(dot.find("graph dependency"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("0.42"), std::string::npos);
+}
+
+TEST(GraphTest, DotOmitsWeakEdgesAndColorsGroups) {
+  Graph g({"a", "b", "c"});
+  g.SetWeight(0, 1, 0.9);
+  g.SetWeight(1, 2, 0.05);
+  std::vector<int> groups = {0, 0, 1};
+  std::string dot = g.ToDot(0.2, &groups);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -- n2"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

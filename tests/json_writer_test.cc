@@ -1,0 +1,62 @@
+// Unit tests for the streaming JSON writer.
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace blaeu {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriterTest, KeyValuePairs) {
+  JsonWriter w;
+  w.BeginObject().KV("a", 1).KV("b", "x").KV("c", true).EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list").BeginArray().Int(1).Int(2).BeginObject().EndObject().EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"list\":[1,2,{}]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecials) {
+  JsonWriter w;
+  w.BeginObject().KV("k", "a\"b\\c\nd").EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, NumbersRenderCompactly) {
+  JsonWriter w;
+  w.BeginArray().Number(1.5).Number(2.0).Int(-3).EndArray();
+  EXPECT_EQ(w.str(), "[1.5,2,-3]");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.BeginArray().Number(std::numeric_limits<double>::quiet_NaN()).EndArray();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriterTest, NullLiteral) {
+  JsonWriter w;
+  w.BeginObject().Key("x").Null().EndObject();
+  EXPECT_EQ(w.str(), "{\"x\":null}");
+}
+
+TEST(JsonWriterTest, ArrayOfStrings) {
+  JsonWriter w;
+  w.BeginArray().String("a").String("b").EndArray();
+  EXPECT_EQ(w.str(), "[\"a\",\"b\"]");
+}
+
+}  // namespace
+}  // namespace blaeu

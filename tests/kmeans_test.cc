@@ -1,0 +1,87 @@
+// Unit tests for the k-means baseline.
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::Matrix;
+
+Matrix Blobs(size_t k, size_t per, double gap, uint64_t seed,
+             std::vector<int>* truth) {
+  Rng rng(seed);
+  Matrix data(k * per, 2);
+  truth->clear();
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      size_t row = c * per + i;
+      data.At(row, 0) = rng.NextGaussian(gap * static_cast<double>(c), 0.5);
+      data.At(row, 1) = rng.NextGaussian(gap * static_cast<double>(c % 2),
+                                         0.5);
+      truth->push_back(static_cast<int>(c));
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversPlantedClusters) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 100, 10.0, 1, &truth);
+  auto result = *KMeans(data, 3);
+  EXPECT_GT(stats::AdjustedRandIndex(result.assignment.labels, truth), 0.95);
+  EXPECT_EQ(result.centroids.rows(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<int> truth;
+  Matrix data = Blobs(4, 50, 6.0, 2, &truth);
+  double prev = 1e300;
+  for (size_t k = 1; k <= 5; ++k) {
+    KMeansOptions opt;
+    opt.seed = 3;
+    auto result = *KMeans(data, k, opt);
+    EXPECT_LE(result.inertia, prev * 1.001);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansTest, MedoidsAreRealPointsNearCentroids) {
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 60, 8.0, 4, &truth);
+  auto result = *KMeans(data, 2);
+  for (size_t c = 0; c < 2; ++c) {
+    size_t m = result.assignment.medoids[c];
+    ASSERT_LT(m, data.rows());
+    EXPECT_EQ(result.assignment.labels[m], static_cast<int>(c));
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 40, 7.0, 5, &truth);
+  KMeansOptions opt;
+  opt.seed = 11;
+  auto a = *KMeans(data, 3, opt);
+  auto b = *KMeans(data, 3, opt);
+  EXPECT_EQ(a.assignment.labels, b.assignment.labels);
+}
+
+TEST(KMeansTest, InvalidKRejected) {
+  Matrix data(3, 1);
+  EXPECT_FALSE(KMeans(data, 0).ok());
+  EXPECT_FALSE(KMeans(data, 4).ok());
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Matrix data(10, 2);  // all zeros
+  auto result = *KMeans(data, 3);
+  EXPECT_EQ(result.assignment.labels.size(), 10u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

@@ -1,0 +1,117 @@
+// Unit tests for silhouette-driven k selection (paper §3, "Number of
+// clusters").
+#include "cluster/kselect.h"
+#include "cluster/pam.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/distance.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::DistanceMatrix;
+using stats::Matrix;
+
+Matrix PlantedBlobs(size_t k, size_t per, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(k * per, 2);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      size_t row = c * per + i;
+      data.At(row, 0) = rng.NextGaussian(12.0 * static_cast<double>(c), 0.6);
+      data.At(row, 1) =
+          rng.NextGaussian(c % 2 == 0 ? 0.0 : 12.0, 0.6);
+    }
+  }
+  return data;
+}
+
+TEST(KSelectTest, RecoversPlantedKThree) {
+  Matrix data = PlantedBlobs(3, 40, 1);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  KSelectOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 7;
+  auto result = *SelectKWithPam(dist, opt);
+  EXPECT_EQ(result.best_k, 3u);
+  EXPECT_GT(result.best_score, 0.6);
+  EXPECT_EQ(result.scores.size(), 6u);  // k = 2..7
+}
+
+TEST(KSelectTest, RecoversPlantedKFive) {
+  Matrix data = PlantedBlobs(5, 30, 2);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  KSelectOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 8;
+  auto result = *SelectKWithPam(dist, opt);
+  EXPECT_EQ(result.best_k, 5u);
+}
+
+TEST(KSelectTest, BestScoreMatchesScoresVector) {
+  Matrix data = PlantedBlobs(3, 25, 3);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  KSelectOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 6;
+  auto result = *SelectKWithPam(dist, opt);
+  double max_score = *std::max_element(result.scores.begin(),
+                                       result.scores.end());
+  EXPECT_DOUBLE_EQ(result.best_score, max_score);
+  EXPECT_EQ(result.best_k, opt.k_min + (std::max_element(result.scores.begin(),
+                                                         result.scores.end()) -
+                                        result.scores.begin()));
+}
+
+TEST(KSelectTest, MonteCarloAgreesOnWellSeparatedData) {
+  Matrix data = PlantedBlobs(4, 200, 4);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  KSelectOptions exact;
+  exact.k_min = 2;
+  exact.k_max = 6;
+  KSelectOptions mc = exact;
+  mc.monte_carlo = true;
+  mc.mc_options.num_subsamples = 5;
+  mc.mc_options.subsample_size = 150;
+  auto exact_result = *SelectKWithPam(dist, exact);
+  auto mc_result = *SelectKWithPam(dist, mc);
+  EXPECT_EQ(exact_result.best_k, 4u);
+  EXPECT_EQ(mc_result.best_k, 4u);
+}
+
+TEST(KSelectTest, KRangeClampedToN) {
+  Matrix data(5, 1);
+  for (size_t i = 0; i < 5; ++i) data.At(i, 0) = static_cast<double>(i);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  KSelectOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 50;  // clamped to n-1 = 4
+  auto result = *SelectKWithPam(dist, opt);
+  EXPECT_EQ(result.scores.size(), 3u);  // k = 2, 3, 4
+}
+
+TEST(KSelectTest, TooFewPointsRejected) {
+  DistanceMatrix dist(1);
+  EXPECT_FALSE(SelectKWithPam(dist, {}).ok());
+}
+
+TEST(KSelectTest, CustomClusterFn) {
+  Matrix data = PlantedBlobs(2, 20, 5);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  size_t calls = 0;
+  KSelectOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 4;
+  ClusterFn fn = [&](size_t k) -> Result<ClusteringResult> {
+    ++calls;
+    return Pam(dist, k);
+  };
+  auto result = *SelectK(dist, fn, opt);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(result.best_k, 2u);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

@@ -1,0 +1,215 @@
+// Unit tests for the map builder (Figure 3 pipeline + Figure 1b model).
+#include "core/map_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/metrics.h"
+#include "workloads/gaussian.h"
+
+namespace blaeu::core {
+namespace {
+
+using monet::SelectionVector;
+
+workloads::Dataset Mixture(size_t rows, size_t k, uint64_t seed) {
+  workloads::MixtureSpec spec;
+  spec.rows = rows;
+  spec.num_clusters = k;
+  spec.dims = 4;
+  spec.separation = 8.0;
+  spec.seed = seed;
+  return workloads::MakeGaussianMixture(spec);
+}
+
+std::vector<std::string> ColumnNames(const monet::Table& t) {
+  std::vector<std::string> names;
+  for (const auto& f : t.schema().fields()) names.push_back(f.name);
+  return names;
+}
+
+TEST(MapBuilderTest, RecoversPlantedClustersThroughLeafRegions) {
+  auto data = Mixture(600, 3, 1);
+  MapOptions opt;
+  opt.fixed_k = 3;
+  auto map = *BuildMap(*data.table, opt);
+  EXPECT_EQ(map.num_clusters, 3u);
+  // Assign each row to its leaf region; compare against planted truth.
+  std::vector<int> predicted(600, -1);
+  for (int leaf : map.LeafIds()) {
+    const MapRegion& region = map.region(leaf);
+    auto sel = *region.predicate.Evaluate(*data.table);
+    for (uint32_t r : sel.rows()) predicted[r] = leaf;
+  }
+  EXPECT_GT(stats::AdjustedRandIndex(predicted, data.truth.row_clusters),
+            0.9);
+}
+
+TEST(MapBuilderTest, RegionsFormATree) {
+  auto data = Mixture(400, 3, 2);
+  auto map = *BuildMap(*data.table);
+  ASSERT_FALSE(map.regions.empty());
+  EXPECT_EQ(map.root().parent, -1);
+  for (const MapRegion& r : map.regions) {
+    for (int child : r.children) {
+      EXPECT_EQ(map.region(child).parent, r.id);
+    }
+    // Internal nodes have exactly two children (binary CART splits).
+    if (!r.is_leaf()) EXPECT_EQ(r.children.size(), 2u);
+  }
+}
+
+TEST(MapBuilderTest, ChildCountsPartitionParent) {
+  auto data = Mixture(500, 3, 3);
+  MapOptions opt;
+  opt.sample_size = 0;  // exact counts: no sampling noise
+  opt.fixed_k = 3;
+  auto map = *BuildMap(*data.table, opt);
+  for (const MapRegion& r : map.regions) {
+    if (r.is_leaf()) continue;
+    size_t child_total = 0;
+    for (int c : r.children) child_total += map.region(c).tuple_count;
+    EXPECT_EQ(child_total, r.tuple_count)
+        << "region " << r.id << " children do not partition it";
+  }
+  EXPECT_EQ(map.root().tuple_count, 500u);
+}
+
+TEST(MapBuilderTest, LeafAreasMatchFigureOneSemantics) {
+  // "The area of the leaves shows the number of tuples covered": leaf
+  // counts must sum to the selection size.
+  auto data = Mixture(450, 4, 4);
+  MapOptions opt;
+  opt.sample_size = 0;
+  auto map = *BuildMap(*data.table, opt);
+  size_t total = 0;
+  for (int leaf : map.LeafIds()) total += map.region(leaf).tuple_count;
+  EXPECT_EQ(total, 450u);
+}
+
+TEST(MapBuilderTest, EdgePredicatesComposeIntoPathPredicate) {
+  auto data = Mixture(300, 3, 5);
+  auto map = *BuildMap(*data.table);
+  for (const MapRegion& r : map.regions) {
+    if (r.parent < 0) continue;
+    // predicate == parent.predicate AND edge
+    monet::Conjunction expected =
+        map.region(r.parent).predicate.And(r.edge);
+    EXPECT_EQ(r.predicate.ToSql(), expected.ToSql());
+  }
+}
+
+TEST(MapBuilderTest, SamplingKeepsAccuracy) {
+  // Experiment C2 in miniature: a sampled map recovers the same structure.
+  auto data = Mixture(4000, 3, 6);
+  MapOptions sampled;
+  sampled.sample_size = 400;
+  sampled.fixed_k = 3;
+  auto map = *BuildMap(*data.table, sampled);
+  EXPECT_EQ(map.sample_size, 400u);
+  EXPECT_EQ(map.total_tuples, 4000u);
+  std::vector<int> predicted(4000, -1);
+  for (int leaf : map.LeafIds()) {
+    auto sel = *map.region(leaf).predicate.Evaluate(*data.table);
+    for (uint32_t r : sel.rows()) predicted[r] = leaf;
+  }
+  EXPECT_GT(stats::AdjustedRandIndex(predicted, data.truth.row_clusters),
+            0.85);
+}
+
+TEST(MapBuilderTest, MedoidsAttachedToLeaves) {
+  auto data = Mixture(300, 3, 7);
+  MapOptions opt;
+  opt.fixed_k = 3;
+  auto map = *BuildMap(*data.table, opt);
+  std::set<int> leaf_clusters;
+  for (int leaf : map.LeafIds()) {
+    const MapRegion& r = map.region(leaf);
+    EXPECT_GE(r.cluster_label, 0);
+    leaf_clusters.insert(r.cluster_label);
+    if (r.has_medoid) EXPECT_LT(r.medoid_row, 300u);
+  }
+  EXPECT_EQ(leaf_clusters.size(), 3u);
+}
+
+TEST(MapBuilderTest, TreeFidelityHighOnSeparatedData) {
+  auto data = Mixture(500, 3, 8);
+  auto map = *BuildMap(*data.table);
+  EXPECT_GT(map.tree_fidelity, 0.9);
+  EXPECT_GT(map.silhouette, 0.4);
+}
+
+TEST(MapBuilderTest, AlgorithmSelectionAuto) {
+  auto small = Mixture(300, 2, 9);
+  MapOptions opt;
+  opt.clara_threshold = 1200;
+  opt.sample_size = 0;
+  auto map_small = *BuildMap(*small.table, opt);
+  EXPECT_EQ(map_small.algorithm, "pam");
+  auto big = Mixture(3000, 2, 10);
+  auto map_big = *BuildMap(*big.table, opt);
+  EXPECT_EQ(map_big.algorithm, "clara");
+}
+
+TEST(MapBuilderTest, ExplicitAlgorithms) {
+  auto data = Mixture(250, 3, 11);
+  for (MapAlgorithm algo : {MapAlgorithm::kPam, MapAlgorithm::kClara,
+                            MapAlgorithm::kKMeans,
+                            MapAlgorithm::kAgglomerative}) {
+    MapOptions opt;
+    opt.algorithm = algo;
+    opt.fixed_k = 3;
+    auto map = *BuildMap(*data.table, opt);
+    EXPECT_EQ(map.num_clusters, 3u);
+  }
+}
+
+TEST(MapBuilderTest, SelectionRestrictsMap) {
+  auto data = Mixture(400, 3, 12);
+  SelectionVector sel = SelectionVector::All(200);
+  auto map = *BuildMap(*data.table, sel, ColumnNames(*data.table));
+  EXPECT_EQ(map.total_tuples, 200u);
+  EXPECT_EQ(map.root().tuple_count, 200u);
+}
+
+TEST(MapBuilderTest, DegenerateTinySelectionYieldsTrivialMap) {
+  auto data = Mixture(100, 2, 13);
+  SelectionVector sel({0, 1});
+  auto map = *BuildMap(*data.table, sel, ColumnNames(*data.table));
+  EXPECT_EQ(map.regions.size(), 1u);
+  EXPECT_EQ(map.algorithm, "trivial");
+  EXPECT_EQ(map.root().tuple_count, 2u);
+}
+
+TEST(MapBuilderTest, InvalidInputsRejected) {
+  auto data = Mixture(100, 2, 14);
+  EXPECT_FALSE(
+      BuildMap(*data.table, SelectionVector::All(100), {}).ok());
+  EXPECT_FALSE(BuildMap(*data.table, SelectionVector(),
+                        ColumnNames(*data.table))
+                   .ok());
+  EXPECT_FALSE(
+      BuildMap(*data.table, SelectionVector::All(100), {"ghost"}).ok());
+}
+
+TEST(MapBuilderTest, KSweepPicksPlantedK) {
+  auto data = Mixture(500, 3, 15);
+  MapOptions opt;
+  opt.k_min = 2;
+  opt.k_max = 6;
+  auto map = *BuildMap(*data.table, opt);
+  EXPECT_EQ(map.num_clusters, 3u);
+}
+
+TEST(MapBuilderTest, ValidateRegionId) {
+  auto data = Mixture(200, 2, 16);
+  auto map = *BuildMap(*data.table);
+  EXPECT_TRUE(map.ValidateRegionId(0).ok());
+  EXPECT_FALSE(map.ValidateRegionId(-1).ok());
+  EXPECT_FALSE(
+      map.ValidateRegionId(static_cast<int>(map.regions.size())).ok());
+}
+
+}  // namespace
+}  // namespace blaeu::core

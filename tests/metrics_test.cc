@@ -1,0 +1,70 @@
+// Unit tests for external clustering metrics.
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace blaeu::stats {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(AriTest, RelabeledPartitionsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 1, 1};  // same partition, new names
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, IndependentPartitionsScoreNearZero) {
+  Rng rng(1);
+  std::vector<int> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int>(rng.NextBounded(4)));
+    b.push_back(static_cast<int>(rng.NextBounded(4)));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.05);
+}
+
+TEST(AriTest, PartialAgreementBetweenZeroAndOne) {
+  std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  std::vector<int> b = {0, 0, 1, 1, 1, 1};  // one point moved
+  double ari = AdjustedRandIndex(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(AriTest, DegenerateSinglePartition) {
+  std::vector<int> a = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(NmiClusteringTest, MatchesRelabeling) {
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {1, 1, 0, 0};
+  EXPECT_NEAR(ClusteringNMI(a, b), 1.0, 1e-12);
+}
+
+TEST(PurityTest, PerfectAndMixed) {
+  std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity({5, 5, 7, 7}, truth), 1.0);
+  // One cluster holding everything: purity = majority share.
+  EXPECT_DOUBLE_EQ(Purity({0, 0, 0, 0}, truth), 0.5);
+}
+
+TEST(PurityTest, OverclusteringInflatesPurity) {
+  // Purity's known bias: singleton clusters are always pure.
+  std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity({0, 1, 2, 3}, truth), 1.0);
+}
+
+TEST(AccuracyTest, ExactMatchFraction) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace blaeu::stats

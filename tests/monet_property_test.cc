@@ -1,0 +1,266 @@
+// Parameterized property sweeps over the storage layer: group-by
+// consistency, sort invariants, predicate/selection algebra, and the
+// mixed-distance and MI estimators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "monet/aggregate.h"
+#include "monet/predicate.h"
+#include "monet/sort.h"
+#include "stats/distance.h"
+#include "stats/entropy.h"
+#include "workloads/gaussian.h"
+
+namespace blaeu {
+namespace {
+
+using monet::AggFn;
+using monet::DataType;
+using monet::Schema;
+using monet::SelectionVector;
+using monet::SortKey;
+using monet::TableBuilder;
+using monet::TablePtr;
+using monet::Value;
+
+/// Random mixed table: one group column (g0..g<k>), one double, one int,
+/// with a sprinkle of nulls.
+TablePtr RandomTable(size_t rows, size_t groups, double null_rate,
+                     uint64_t seed) {
+  TableBuilder b(Schema({{"g", DataType::kString},
+                         {"x", DataType::kDouble},
+                         {"n", DataType::kInt64}}));
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    Value g = Value::Str("g" + std::to_string(rng.NextBounded(groups)));
+    Value x = rng.NextBernoulli(null_rate)
+                  ? Value::Null()
+                  : Value::Double(rng.NextGaussian());
+    Value n = Value::Int(rng.NextInt(-50, 50));
+    EXPECT_TRUE(b.AppendRow({g, x, n}).ok());
+  }
+  return *b.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// GroupBy totals must agree with direct scans.
+// ---------------------------------------------------------------------------
+
+class GroupByPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, double>> {};
+
+TEST_P(GroupByPropertyTest, AggregatesMatchDirectScan) {
+  auto [rows, groups, null_rate] = GetParam();
+  TablePtr t = RandomTable(rows, groups, null_rate,
+                           rows * 31 + groups * 7);
+  auto result = *monet::GroupBy(*t, {"g"},
+                                {{AggFn::kCount, "x", "cnt"},
+                                 {AggFn::kSum, "x", "sum"},
+                                 {AggFn::kMin, "n", "mn"},
+                                 {AggFn::kMax, "n", "mx"}});
+  // Direct computation.
+  std::map<std::string, std::tuple<size_t, double, int64_t, int64_t>> direct;
+  for (size_t r = 0; r < rows; ++r) {
+    std::string g = t->GetValue(r, 0).AsString();
+    auto [it, inserted] = direct.try_emplace(
+        g, std::make_tuple(0u, 0.0, INT64_MAX, INT64_MIN));
+    auto& [cnt, sum, mn, mx] = it->second;
+    if (!t->GetValue(r, 1).is_null()) {
+      ++cnt;
+      sum += t->GetValue(r, 1).AsDouble();
+    }
+    int64_t n = t->GetValue(r, 2).AsInt();
+    mn = std::min(mn, n);
+    mx = std::max(mx, n);
+  }
+  ASSERT_EQ(result->num_rows(), direct.size());
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    const auto& [cnt, sum, mn, mx] =
+        direct.at(result->GetValue(r, 0).AsString());
+    EXPECT_EQ(result->GetValue(r, 1).AsInt(), static_cast<int64_t>(cnt));
+    if (cnt > 0) {
+      EXPECT_NEAR(result->GetValue(r, 2).AsDouble(), sum, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(result->GetValue(r, 3).AsDouble(),
+                     static_cast<double>(mn));
+    EXPECT_DOUBLE_EQ(result->GetValue(r, 4).AsDouble(),
+                     static_cast<double>(mx));
+  }
+  // Group counts sum to the row count.
+  auto counts = *monet::GroupBy(*t, {"g"}, {{AggFn::kCount, "", "all"}});
+  int64_t total = 0;
+  for (size_t r = 0; r < counts->num_rows(); ++r) {
+    total += counts->GetValue(r, 1).AsInt();
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupByPropertyTest,
+    ::testing::Values(std::make_tuple(50, 3, 0.0),
+                      std::make_tuple(200, 5, 0.1),
+                      std::make_tuple(500, 2, 0.3),
+                      std::make_tuple(1000, 17, 0.05)));
+
+// ---------------------------------------------------------------------------
+// Sorting invariants.
+// ---------------------------------------------------------------------------
+
+class SortPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+TEST_P(SortPropertyTest, OrderedPermutationWithNullsLast) {
+  auto [rows, ascending] = GetParam();
+  TablePtr t = RandomTable(rows, 4, 0.15, rows * 13);
+  auto order = *monet::SortIndices(*t, SelectionVector::All(rows),
+                                   {{"x", ascending}});
+  // Permutation of the input.
+  std::vector<uint32_t> check = order.rows();
+  std::sort(check.begin(), check.end());
+  EXPECT_EQ(check, SelectionVector::All(rows).rows());
+  // Non-null prefix is monotone, nulls form the suffix.
+  const auto& col = *t->column(1);
+  bool seen_null = false;
+  double prev = ascending ? -1e300 : 1e300;
+  for (uint32_t r : order.rows()) {
+    if (col.IsNull(r)) {
+      seen_null = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_null) << "non-null after null";
+    double v = col.doubles()[r];
+    if (ascending) {
+      EXPECT_GE(v, prev);
+    } else {
+      EXPECT_LE(v, prev);
+    }
+    prev = v;
+  }
+  // TopK prefix matches the sort for several k.
+  for (size_t k : {1ul, 5ul, rows / 2}) {
+    if (k == 0 || k > rows) continue;
+    auto top = *monet::TopKIndices(*t, SelectionVector::All(rows),
+                                   {{"x", ascending}}, k);
+    ASSERT_EQ(top.size(), k);
+    for (size_t i = 0; i < k; ++i) EXPECT_EQ(top[i], order[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SortPropertyTest,
+                         ::testing::Values(std::make_tuple(20, true),
+                                           std::make_tuple(100, false),
+                                           std::make_tuple(333, true),
+                                           std::make_tuple(333, false)));
+
+// ---------------------------------------------------------------------------
+// Gower distance stays in [0, 1], is symmetric, zero on the diagonal.
+// ---------------------------------------------------------------------------
+
+class GowerPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GowerPropertyTest, MetricAxioms) {
+  double nan_rate = GetParam();
+  Rng rng(static_cast<uint64_t>(nan_rate * 1000) + 3);
+  const size_t n = 40, dims = 5;
+  stats::Matrix data(n, dims);
+  std::vector<bool> categorical = {false, true, false, true, false};
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < dims; ++f) {
+      if (rng.NextBernoulli(nan_rate)) {
+        data.At(i, f) = std::numeric_limits<double>::quiet_NaN();
+      } else if (categorical[f]) {
+        data.At(i, f) = static_cast<double>(rng.NextBounded(4));
+      } else {
+        data.At(i, f) = rng.NextGaussian();
+      }
+    }
+  }
+  stats::GowerDistance gower = stats::GowerDistance::Fit(data, categorical);
+  for (size_t i = 0; i < n; i += 3) {
+    // Self-distance is 0 unless the row is entirely missing (the documented
+    // "no comparable features -> 1" convention).
+    bool has_value = false;
+    for (size_t f = 0; f < dims; ++f) {
+      if (!std::isnan(data.At(i, f))) has_value = true;
+    }
+    EXPECT_DOUBLE_EQ(gower(data.RowPtr(i), data.RowPtr(i)),
+                     has_value ? 0.0 : 1.0);
+    for (size_t j = 0; j < n; j += 5) {
+      double d_ij = gower(data.RowPtr(i), data.RowPtr(j));
+      double d_ji = gower(data.RowPtr(j), data.RowPtr(i));
+      EXPECT_DOUBLE_EQ(d_ij, d_ji);
+      EXPECT_GE(d_ij, 0.0);
+      EXPECT_LE(d_ij, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GowerPropertyTest,
+                         ::testing::Values(0.0, 0.1, 0.4, 0.8));
+
+// ---------------------------------------------------------------------------
+// Miller-Madow MI: symmetric, bounded by plug-in MI, near zero under
+// independence across support sizes.
+// ---------------------------------------------------------------------------
+
+class MmMiPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MmMiPropertyTest, EstimatorProperties) {
+  auto [support, n] = GetParam();
+  Rng rng(support * 101 + n);
+  std::vector<int> xs, ys;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(static_cast<int>(rng.NextBounded(support)));
+    ys.push_back(static_cast<int>(rng.NextBounded(support)));
+  }
+  double mm_xy = stats::MutualInformationMM(xs, ys);
+  double mm_yx = stats::MutualInformationMM(ys, xs);
+  EXPECT_NEAR(mm_xy, mm_yx, 1e-9);  // hash-order float summation jitter
+  EXPECT_LE(mm_xy, stats::MutualInformation(xs, ys) + 1e-12);
+  EXPECT_GE(mm_xy, 0.0);
+  // Independent draws: corrected MI should be (near) zero.
+  EXPECT_LT(stats::NormalizedMutualInformationMM(xs, ys), 0.05);
+  // Perfect dependence survives the correction.
+  EXPECT_GT(stats::NormalizedMutualInformationMM(xs, xs), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MmMiPropertyTest,
+                         ::testing::Values(std::make_tuple(2, 200),
+                                           std::make_tuple(4, 500),
+                                           std::make_tuple(8, 1000),
+                                           std::make_tuple(16, 2000)));
+
+// ---------------------------------------------------------------------------
+// Predicate algebra: Evaluate distributes over selection intersection.
+// ---------------------------------------------------------------------------
+
+class PredicatePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PredicatePropertyTest, EvaluateOnEqualsEvaluateIntersect) {
+  size_t rows = GetParam();
+  TablePtr t = RandomTable(rows, 3, 0.1, rows + 77);
+  monet::Conjunction conj;
+  conj.Add(monet::Condition::Compare("x", monet::CompareOp::kGt,
+                                     Value::Double(0.0)));
+  conj.Add(monet::Condition::Compare("n", monet::CompareOp::kLe,
+                                     Value::Int(20)));
+  // Base: every third row.
+  std::vector<uint32_t> base_rows;
+  for (uint32_t r = 0; r < rows; r += 3) base_rows.push_back(r);
+  SelectionVector base(base_rows);
+  auto on_base = *conj.EvaluateOn(*t, base);
+  auto full = *conj.Evaluate(*t);
+  EXPECT_EQ(on_base, full.Intersect(base));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PredicatePropertyTest,
+                         ::testing::Values(30, 100, 500));
+
+}  // namespace
+}  // namespace blaeu

@@ -1,0 +1,152 @@
+// Unit tests for PAM (k-medoids).
+#include "cluster/pam.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::DistanceMatrix;
+using stats::Matrix;
+
+/// `k` tight Gaussian blobs along one axis, `per` points each.
+Matrix Blobs(size_t k, size_t per, double gap, uint64_t seed,
+             std::vector<int>* truth) {
+  Rng rng(seed);
+  Matrix data(k * per, 2);
+  truth->clear();
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < per; ++i) {
+      size_t row = c * per + i;
+      data.At(row, 0) = rng.NextGaussian(gap * static_cast<double>(c), 0.4);
+      data.At(row, 1) = rng.NextGaussian(0.0, 0.4);
+      truth->push_back(static_cast<int>(c));
+    }
+  }
+  return data;
+}
+
+TEST(PamTest, RecoversPlantedClusters) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 40, 10.0, 1, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 3);
+  EXPECT_EQ(result.num_clusters(), 3u);
+  EXPECT_GT(stats::AdjustedRandIndex(result.labels, truth), 0.98);
+}
+
+TEST(PamTest, LabelsPointToNearestMedoid) {
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 30, 8.0, 2, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 2);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double assigned = dist.At(i, result.medoids[result.labels[i]]);
+    for (size_t m : result.medoids) {
+      EXPECT_LE(assigned, dist.At(i, m) + 1e-12);
+    }
+  }
+}
+
+TEST(PamTest, MedoidBelongsToItsOwnCluster) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 20, 6.0, 3, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 3);
+  for (size_t m = 0; m < result.medoids.size(); ++m) {
+    EXPECT_EQ(result.labels[result.medoids[m]], static_cast<int>(m));
+  }
+}
+
+TEST(PamTest, CostMatchesLabelAssignment) {
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 25, 7.0, 4, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 2);
+  double cost = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    cost += dist.At(i, result.medoids[result.labels[i]]);
+  }
+  EXPECT_NEAR(result.total_cost, cost, 1e-9);
+}
+
+TEST(PamTest, SwapImprovesOnBuildForHardInput) {
+  // Random points: SWAP should never worsen the BUILD objective. We check
+  // against a naive random-medoid assignment instead (strictly worse).
+  Rng rng(5);
+  Matrix data(60, 3);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t f = 0; f < 3; ++f) data.At(i, f) = rng.NextGaussian();
+  }
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 4);
+  ClusteringResult random = AssignToMedoids(
+      60, {0, 1, 2, 3}, [&](size_t i, size_t j) { return dist.At(i, j); });
+  EXPECT_LE(result.total_cost, random.total_cost + 1e-9);
+}
+
+TEST(PamTest, KOneGroupsEverything) {
+  std::vector<int> truth;
+  Matrix data = Blobs(2, 10, 5.0, 6, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 1);
+  EXPECT_EQ(result.num_clusters(), 1u);
+  for (int l : result.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(PamTest, KEqualsNMakesSingletons) {
+  Matrix data(4, 1);
+  for (size_t i = 0; i < 4; ++i) data.At(i, 0) = static_cast<double>(i);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto result = *Pam(dist, 4);
+  EXPECT_EQ(result.num_clusters(), 4u);
+  EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+}
+
+TEST(PamTest, InvalidKRejected) {
+  Matrix data(3, 1);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  EXPECT_FALSE(Pam(dist, 0).ok());
+  EXPECT_FALSE(Pam(dist, 4).ok());
+}
+
+TEST(PamTest, DeterministicOnSameInput) {
+  std::vector<int> truth;
+  Matrix data = Blobs(3, 30, 6.0, 7, &truth);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  auto a = *Pam(dist, 3);
+  auto b = *Pam(dist, 3);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.medoids, b.medoids);
+}
+
+TEST(PamTest, FastSwapMatchesNaiveSwap) {
+  // FastPAM1 must choose the same swaps as the textbook scan: identical
+  // medoids and cost on a sweep of random inputs.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    size_t n = 40 + seed * 15;
+    size_t k = 2 + seed % 4;
+    Matrix data(n, 3);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t f = 0; f < 3; ++f) data.At(i, f) = rng.NextGaussian();
+    }
+    DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+    auto fast = *Pam(dist, k);
+    auto naive = *PamNaive(dist, k);
+    EXPECT_NEAR(fast.total_cost, naive.total_cost, 1e-9)
+        << "seed " << seed << " n " << n << " k " << k;
+    EXPECT_EQ(fast.medoids, naive.medoids) << "seed " << seed;
+  }
+}
+
+TEST(ClusterSizesTest, CountsPerLabel) {
+  std::vector<size_t> sizes = ClusterSizes({0, 1, 1, 2, 2, 2});
+  EXPECT_EQ(sizes, (std::vector<size_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace blaeu::cluster

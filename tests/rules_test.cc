@@ -1,0 +1,151 @@
+// Unit tests for rule extraction from CART trees.
+#include "tree/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace blaeu::tree {
+namespace {
+
+using monet::DataType;
+using monet::Schema;
+using monet::TableBuilder;
+using monet::TablePtr;
+using monet::Value;
+
+std::vector<uint32_t> AllRows(size_t n) {
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return rows;
+}
+
+/// Two-column table with a 3-way structure along x then y.
+TablePtr TwoLevelTable(std::vector<int>* labels) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}, {"y", DataType::kDouble}}));
+  Rng rng(1);
+  labels->clear();
+  for (size_t i = 0; i < 500; ++i) {
+    double x = rng.NextUniform(0, 10), y = rng.NextUniform(0, 10);
+    EXPECT_TRUE(b.AppendRow({Value::Double(x), Value::Double(y)}).ok());
+    labels->push_back(x <= 4 ? 0 : (y <= 6 ? 1 : 2));
+  }
+  return *b.Finish();
+}
+
+TEST(RulesTest, OneRulePerLeaf) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  EXPECT_EQ(rules.size(), model.NumLeaves());
+}
+
+TEST(RulesTest, RulesPartitionTheTable) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  // Every row matches exactly one rule (no nulls in this table).
+  for (uint32_t r = 0; r < 500; r += 11) {
+    size_t matches = 0;
+    for (const LeafRule& rule : rules) {
+      if (*rule.conditions.MatchesRow(*t, r)) ++matches;
+    }
+    EXPECT_EQ(matches, 1u) << "row " << r;
+  }
+}
+
+TEST(RulesTest, RuleLabelsAgreeWithPredictions) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  for (uint32_t r = 0; r < 500; r += 17) {
+    for (const LeafRule& rule : rules) {
+      if (*rule.conditions.MatchesRow(*t, r)) {
+        EXPECT_EQ(rule.label, model.Predict(*t, r));
+      }
+    }
+  }
+}
+
+TEST(RulesTest, CountsSumToTrainingSize) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  size_t total = 0;
+  for (const LeafRule& rule : rules) total += rule.count;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(RulesTest, StackedBoundsSimplified) {
+  // Deep tree on one column: path conditions like x <= 8 AND x <= 4 must
+  // collapse to x <= 4.
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels;
+  for (size_t i = 0; i < 400; ++i) {
+    double x = static_cast<double>(i % 100) / 10.0;
+    EXPECT_TRUE(b.AppendRow({Value::Double(x)}).ok());
+    labels.push_back(x <= 2.5 ? 0 : (x <= 5 ? 1 : (x <= 7.5 ? 2 : 3)));
+  }
+  TablePtr t = *b.Finish();
+  CartOptions opt;
+  opt.max_depth = 4;
+  auto model = *CartModel::Train(*t, AllRows(400), labels, opt);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  for (const LeafRule& rule : rules) {
+    // After simplification: at most one upper and one lower bound on x.
+    size_t uppers = 0, lowers = 0;
+    for (const auto& c : rule.conditions.conditions()) {
+      if (c.op == monet::CompareOp::kLe || c.op == monet::CompareOp::kLt) {
+        ++uppers;
+      } else {
+        ++lowers;
+      }
+    }
+    EXPECT_LE(uppers, 1u);
+    EXPECT_LE(lowers, 1u);
+  }
+}
+
+TEST(RulesTest, ConfidenceIsMajorityFraction) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  for (const LeafRule& rule : ExtractRules(model)) {
+    EXPECT_GE(rule.confidence, 0.5);  // binary-ish splits on clean data
+    EXPECT_LE(rule.confidence, 1.0);
+  }
+}
+
+TEST(RulesTest, TextRenderingMentionsEveryRule) {
+  std::vector<int> labels;
+  TablePtr t = TwoLevelTable(&labels);
+  auto model = *CartModel::Train(*t, AllRows(500), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  std::string text = RulesToString(rules);
+  for (const LeafRule& rule : rules) {
+    EXPECT_NE(text.find("class " + std::to_string(rule.label)),
+              std::string::npos);
+  }
+  EXPECT_NE(text.find("IF "), std::string::npos);
+}
+
+TEST(RulesTest, SingleLeafTreeGivesUniversalRule) {
+  TableBuilder b(Schema({{"x", DataType::kDouble}}));
+  std::vector<int> labels(20, 0);
+  for (size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value::Double(1.0)}).ok());
+  }
+  TablePtr t = *b.Finish();
+  auto model = *CartModel::Train(*t, AllRows(20), labels);
+  std::vector<LeafRule> rules = ExtractRules(model);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].conditions.empty());
+  EXPECT_EQ(rules[0].conditions.ToSql(), "TRUE");
+}
+
+}  // namespace
+}  // namespace blaeu::tree

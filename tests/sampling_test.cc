@@ -1,0 +1,144 @@
+// Unit tests for the sampling primitives and the multi-scale sampler.
+#include "monet/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace blaeu::monet {
+namespace {
+
+TEST(SamplingTest, UniformSampleSizeAndRange) {
+  Rng rng(1);
+  SelectionVector s = UniformSampleIndices(100, 20, &rng);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<uint32_t> unique(s.rows().begin(), s.rows().end());
+  EXPECT_EQ(unique.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(s.rows().begin(), s.rows().end()));
+  for (uint32_t r : s.rows()) EXPECT_LT(r, 100u);
+}
+
+TEST(SamplingTest, UniformSampleWholePopulation) {
+  Rng rng(2);
+  SelectionVector s = UniformSampleIndices(10, 50, &rng);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(SamplingTest, SampleFromSelectionSubsets) {
+  Rng rng(3);
+  SelectionVector base({5, 10, 15, 20, 25, 30});
+  SelectionVector s = SampleFromSelection(base, 3, &rng);
+  EXPECT_EQ(s.size(), 3u);
+  for (uint32_t r : s.rows()) {
+    EXPECT_TRUE(std::binary_search(base.rows().begin(), base.rows().end(), r));
+  }
+  // k >= size returns base unchanged.
+  EXPECT_EQ(SampleFromSelection(base, 10, &rng), base);
+}
+
+TEST(SamplingTest, ReservoirMatchesSizeAndIsUniformish) {
+  Rng rng(4);
+  // Mean of a uniform sample of [0,1000) should be near 500.
+  double mean_sum = 0;
+  for (int rep = 0; rep < 30; ++rep) {
+    SelectionVector s = ReservoirSampleIndices(1000, 50, &rng);
+    EXPECT_EQ(s.size(), 50u);
+    double m = 0;
+    for (uint32_t r : s.rows()) m += r;
+    mean_sum += m / 50.0;
+  }
+  EXPECT_NEAR(mean_sum / 30.0, 500.0, 60.0);
+}
+
+TEST(SamplingTest, ReservoirZeroK) {
+  Rng rng(5);
+  EXPECT_EQ(ReservoirSampleIndices(100, 0, &rng).size(), 0u);
+}
+
+TEST(SamplingTest, BernoulliRate) {
+  Rng rng(6);
+  SelectionVector s = BernoulliSampleIndices(10000, 0.3, &rng);
+  EXPECT_NEAR(static_cast<double>(s.size()), 3000.0, 200.0);
+}
+
+TEST(SamplingTest, StratifiedKeepsProportions) {
+  Rng rng(7);
+  // Three strata with sizes 600 / 300 / 100.
+  std::vector<int> labels;
+  for (int i = 0; i < 600; ++i) labels.push_back(0);
+  for (int i = 0; i < 300; ++i) labels.push_back(1);
+  for (int i = 0; i < 100; ++i) labels.push_back(2);
+  SelectionVector s = StratifiedSampleIndices(labels, 100, &rng);
+  size_t counts[3] = {0, 0, 0};
+  for (uint32_t r : s.rows()) ++counts[labels[r]];
+  EXPECT_NEAR(static_cast<double>(counts[0]), 60.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(counts[1]), 30.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]), 10.0, 2.0);
+}
+
+TEST(SamplingTest, StratifiedSmallBudgetCoversStrata) {
+  Rng rng(8);
+  std::vector<int> labels = {0, 0, 0, 0, 1, 1, 2, 2};
+  SelectionVector s = StratifiedSampleIndices(labels, 3, &rng);
+  std::set<int> seen;
+  for (uint32_t r : s.rows()) seen.insert(labels[r]);
+  EXPECT_GE(seen.size(), 3u);  // every stratum represented
+}
+
+TEST(SamplingTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  EXPECT_EQ(UniformSampleIndices(500, 50, &a).rows(),
+            UniformSampleIndices(500, 50, &b).rows());
+}
+
+TEST(MultiScaleSamplerTest, ScalesGrowAndNest) {
+  Rng rng(10);
+  MultiScaleSampler sampler(10000, 100, 4.0, &rng);
+  ASSERT_GE(sampler.num_scales(), 3u);
+  EXPECT_EQ(sampler.scale_size(0), 100u);
+  EXPECT_EQ(sampler.scale_size(sampler.num_scales() - 1), 10000u);
+  // Nesting: every row of scale s appears in scale s+1.
+  for (size_t s = 0; s + 1 < sampler.num_scales(); ++s) {
+    SelectionVector small = sampler.SampleAtScale(s);
+    SelectionVector big = sampler.SampleAtScale(s + 1);
+    EXPECT_EQ(small.Intersect(big).size(), small.size());
+  }
+}
+
+TEST(MultiScaleSamplerTest, SampleAtMostRespectsSelection) {
+  Rng rng(11);
+  MultiScaleSampler sampler(1000, 50, 4.0, &rng);
+  // Selection: even rows only.
+  std::vector<uint32_t> even;
+  for (uint32_t i = 0; i < 1000; i += 2) even.push_back(i);
+  SelectionVector sel(even);
+  SelectionVector s = sampler.SampleAtMost(sel, 40);
+  EXPECT_EQ(s.size(), 40u);
+  for (uint32_t r : s.rows()) EXPECT_EQ(r % 2, 0u);
+  // Small selections pass through untouched.
+  SelectionVector tiny({2, 4, 6});
+  EXPECT_EQ(sampler.SampleAtMost(tiny, 40), tiny);
+}
+
+TEST(MultiScaleSamplerTest, NestedAcrossBudgets) {
+  Rng rng(12);
+  MultiScaleSampler sampler(5000, 100, 4.0, &rng);
+  SelectionVector sel = SelectionVector::All(5000);
+  SelectionVector small = sampler.SampleAtMost(sel, 200);
+  SelectionVector big = sampler.SampleAtMost(sel, 800);
+  EXPECT_EQ(small.Intersect(big).size(), small.size());
+}
+
+TEST(SamplingTest, SampleTableMaterializes) {
+  TableBuilder b(Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value::Int(i)}).ok());
+  }
+  auto table = *b.Finish();
+  Rng rng(13);
+  TablePtr sample = SampleTable(*table, 10, &rng);
+  EXPECT_EQ(sample->num_rows(), 10u);
+}
+
+}  // namespace
+}  // namespace blaeu::monet

@@ -1,0 +1,119 @@
+// Unit tests for the silhouette coefficient (exact and Monte-Carlo).
+#include "stats/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace blaeu::stats {
+namespace {
+
+/// Two tight, well-separated blobs along one dimension.
+Matrix TwoBlobs(size_t per_blob, double gap, Rng* rng) {
+  Matrix data(2 * per_blob, 1);
+  for (size_t i = 0; i < per_blob; ++i) {
+    data.At(i, 0) = rng->NextGaussian(0.0, 0.3);
+    data.At(per_blob + i, 0) = rng->NextGaussian(gap, 0.3);
+  }
+  return data;
+}
+
+std::vector<int> BlobLabels(size_t per_blob) {
+  std::vector<int> labels(2 * per_blob, 0);
+  for (size_t i = per_blob; i < 2 * per_blob; ++i) labels[i] = 1;
+  return labels;
+}
+
+TEST(SilhouetteTest, WellSeparatedScoresNearOne) {
+  Rng rng(1);
+  Matrix data = TwoBlobs(30, 20.0, &rng);
+  double s = MeanSilhouetteEuclidean(data, BlobLabels(30));
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreNearZeroOrNegative) {
+  Rng rng(2);
+  Matrix data = TwoBlobs(30, 20.0, &rng);
+  std::vector<int> labels(60);
+  for (auto& l : labels) l = static_cast<int>(rng.NextBounded(2));
+  double s = MeanSilhouetteEuclidean(data, labels);
+  EXPECT_LT(s, 0.2);
+}
+
+TEST(SilhouetteTest, ValuesBoundedByOne) {
+  Rng rng(3);
+  Matrix data = TwoBlobs(15, 5.0, &rng);
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  std::vector<double> values = SilhouetteValues(dist, BlobLabels(15));
+  for (double v : values) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SilhouetteTest, SingletonClusterScoresZero) {
+  Matrix data(3, 1);
+  data.At(0, 0) = 0;
+  data.At(1, 0) = 0.1;
+  data.At(2, 0) = 10;
+  DistanceMatrix dist = DistanceMatrix::Euclidean(data);
+  std::vector<double> values = SilhouetteValues(dist, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(values[2], 0.0);  // singleton convention
+}
+
+TEST(SilhouetteTest, SingleClusterScoresZero) {
+  Rng rng(4);
+  Matrix data = TwoBlobs(10, 5.0, &rng);
+  double s = MeanSilhouetteEuclidean(data, std::vector<int>(20, 0));
+  EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(MonteCarloSilhouetteTest, SmallInputMatchesExact) {
+  Rng rng(5);
+  Matrix data = TwoBlobs(20, 8.0, &rng);
+  std::vector<int> labels = BlobLabels(20);
+  MonteCarloSilhouetteOptions opt;
+  opt.subsample_size = 100;  // larger than n=40: exact path
+  double exact = MeanSilhouetteEuclidean(data, labels);
+  double mc = MonteCarloSilhouette(data, labels, opt);
+  EXPECT_DOUBLE_EQ(exact, mc);
+}
+
+TEST(MonteCarloSilhouetteTest, ApproximatesExactOnLargeInput) {
+  Rng rng(6);
+  Matrix data = TwoBlobs(400, 10.0, &rng);
+  std::vector<int> labels = BlobLabels(400);
+  double exact = MeanSilhouetteEuclidean(data, labels);
+  MonteCarloSilhouetteOptions opt;
+  opt.num_subsamples = 6;
+  opt.subsample_size = 120;
+  opt.seed = 7;
+  double mc = MonteCarloSilhouette(data, labels, opt);
+  EXPECT_NEAR(mc, exact, 0.05);
+}
+
+TEST(MonteCarloSilhouetteTest, DeterministicGivenSeed) {
+  Rng rng(8);
+  Matrix data = TwoBlobs(200, 6.0, &rng);
+  std::vector<int> labels = BlobLabels(200);
+  MonteCarloSilhouetteOptions opt;
+  opt.seed = 11;
+  double a = MonteCarloSilhouette(data, labels, opt);
+  double b = MonteCarloSilhouette(data, labels, opt);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(MonteCarloSilhouetteTest, CustomDistanceFunction) {
+  // Distance oracle over indices: two groups {0,1}, {2,3} far apart.
+  std::vector<int> labels = {0, 0, 1, 1};
+  auto dist = [](size_t i, size_t j) {
+    bool same_group = (i < 2) == (j < 2);
+    if (i == j) return 0.0;
+    return same_group ? 0.1 : 10.0;
+  };
+  double s = MonteCarloSilhouette(4, labels, dist);
+  EXPECT_GT(s, 0.9);
+}
+
+}  // namespace
+}  // namespace blaeu::stats

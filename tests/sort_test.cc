@@ -1,0 +1,106 @@
+// Unit tests for table sorting and top-k.
+#include "monet/sort.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::monet {
+namespace {
+
+TablePtr ScoresTable() {
+  TableBuilder b(Schema({{"name", DataType::kString},
+                         {"score", DataType::kDouble},
+                         {"year", DataType::kInt64}}));
+  struct Row {
+    const char* name;
+    double score;
+    int64_t year;
+  };
+  Row rows[] = {
+      {"c", 3.0, 2010}, {"a", 1.0, 2012}, {"e", 5.0, 2010},
+      {"b", 2.0, 2011}, {"d", 4.0, 2012},
+  };
+  for (const Row& r : rows) {
+    EXPECT_TRUE(b.AppendRow({Value::Str(r.name), Value::Double(r.score),
+                             Value::Int(r.year)})
+                    .ok());
+  }
+  return *b.Finish();
+}
+
+SelectionVector All5() { return SelectionVector::All(5); }
+
+TEST(SortTest, AscendingNumeric) {
+  auto t = ScoresTable();
+  auto sorted = *SortTable(*t, All5(), {{"score", true}});
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(sorted->GetValue(r, 1).AsDouble(),
+                     static_cast<double>(r + 1));
+  }
+}
+
+TEST(SortTest, DescendingString) {
+  auto t = ScoresTable();
+  auto sorted = *SortTable(*t, All5(), {{"name", false}});
+  EXPECT_EQ(sorted->GetValue(0, 0).AsString(), "e");
+  EXPECT_EQ(sorted->GetValue(4, 0).AsString(), "a");
+}
+
+TEST(SortTest, MultiKeyWithStability) {
+  auto t = ScoresTable();
+  // year asc, then score desc within a year.
+  auto sorted = *SortTable(*t, All5(),
+                           {{"year", true}, {"score", false}});
+  EXPECT_EQ(sorted->GetValue(0, 2).AsInt(), 2010);
+  EXPECT_DOUBLE_EQ(sorted->GetValue(0, 1).AsDouble(), 5.0);  // e before c
+  EXPECT_DOUBLE_EQ(sorted->GetValue(1, 1).AsDouble(), 3.0);
+  EXPECT_EQ(sorted->GetValue(2, 2).AsInt(), 2011);
+  EXPECT_EQ(sorted->GetValue(3, 2).AsInt(), 2012);
+  EXPECT_DOUBLE_EQ(sorted->GetValue(3, 1).AsDouble(), 4.0);  // d before a
+}
+
+TEST(SortTest, NullsSortLastBothDirections) {
+  TableBuilder b(Schema({{"v", DataType::kDouble}}));
+  ASSERT_TRUE(b.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Double(2)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Double(1)}).ok());
+  auto t = *b.Finish();
+  auto asc = *SortTable(*t, SelectionVector::All(3), {{"v", true}});
+  EXPECT_DOUBLE_EQ(asc->GetValue(0, 0).AsDouble(), 1.0);
+  EXPECT_TRUE(asc->GetValue(2, 0).is_null());
+  auto desc = *SortTable(*t, SelectionVector::All(3), {{"v", false}});
+  EXPECT_DOUBLE_EQ(desc->GetValue(0, 0).AsDouble(), 2.0);
+  EXPECT_TRUE(desc->GetValue(2, 0).is_null());
+}
+
+TEST(SortTest, RestrictedSelection) {
+  auto t = ScoresTable();
+  SelectionVector sel({0, 2, 4});  // c, e, d
+  auto sorted = *SortIndices(*t, sel, {{"score", false}});
+  EXPECT_EQ(sorted.rows(), (std::vector<uint32_t>{2, 4, 0}));  // e, d, c
+}
+
+TEST(SortTest, UnknownColumnAndEmptyKeysRejected) {
+  auto t = ScoresTable();
+  EXPECT_EQ(SortIndices(*t, All5(), {{"ghost", true}}).status().code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(SortIndices(*t, All5(), {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopKTest, MatchesFullSortPrefix) {
+  auto t = ScoresTable();
+  auto full = *SortIndices(*t, All5(), {{"score", false}});
+  auto top = *TopKIndices(*t, All5(), {{"score", false}}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(top[i], full[i]);
+}
+
+TEST(TopKTest, KLargerThanInputSortsEverything) {
+  auto t = ScoresTable();
+  auto top = *TopKIndices(*t, All5(), {{"score", true}}, 50);
+  EXPECT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0], 1u);  // score 1.0 at row 1
+}
+
+}  // namespace
+}  // namespace blaeu::monet

@@ -1,0 +1,146 @@
+// Unit tests for the Select-Project SQL parser, including round-trips of
+// everything the session emits.
+#include "monet/sql_parser.h"
+
+#include "monet/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::monet {
+namespace {
+
+TEST(SqlParserTest, SelectStar) {
+  auto q = *ParseSql("SELECT * FROM \"movies\";");
+  EXPECT_EQ(q.table_name, "movies");
+  EXPECT_TRUE(q.columns.empty());
+  EXPECT_TRUE(q.where.empty());
+}
+
+TEST(SqlParserTest, ColumnsAndWhere) {
+  auto q = *ParseSql(
+      "SELECT \"budget\", \"gross\" FROM \"movies\" WHERE \"budget\" >= 100 "
+      "AND \"genre\" IN ('Drama', 'Comedy');");
+  EXPECT_EQ(q.columns, (std::vector<std::string>{"budget", "gross"}));
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where.conditions()[0].op, CompareOp::kGe);
+  EXPECT_EQ(q.where.conditions()[1].kind, Condition::Kind::kInSet);
+  EXPECT_EQ(q.where.conditions()[1].set,
+            (std::vector<std::string>{"Drama", "Comedy"}));
+}
+
+TEST(SqlParserTest, AllComparisonOperators) {
+  auto q = *ParseSql(
+      "SELECT * FROM \"t\" WHERE \"a\" < 1 AND \"b\" <= 2 AND \"c\" > 3 AND "
+      "\"d\" >= 4 AND \"e\" = 5 AND \"f\" <> 6");
+  ASSERT_EQ(q.where.size(), 6u);
+  EXPECT_EQ(q.where.conditions()[0].op, CompareOp::kLt);
+  EXPECT_EQ(q.where.conditions()[1].op, CompareOp::kLe);
+  EXPECT_EQ(q.where.conditions()[2].op, CompareOp::kGt);
+  EXPECT_EQ(q.where.conditions()[3].op, CompareOp::kGe);
+  EXPECT_EQ(q.where.conditions()[4].op, CompareOp::kEq);
+  EXPECT_EQ(q.where.conditions()[5].op, CompareOp::kNe);
+}
+
+TEST(SqlParserTest, NullTestsAndNotIn) {
+  auto q = *ParseSql(
+      "SELECT * FROM \"t\" WHERE \"x\" IS NULL AND \"y\" IS NOT NULL AND "
+      "\"g\" NOT IN ('a')");
+  ASSERT_EQ(q.where.size(), 3u);
+  EXPECT_EQ(q.where.conditions()[0].kind, Condition::Kind::kIsNull);
+  EXPECT_EQ(q.where.conditions()[1].kind, Condition::Kind::kNotNull);
+  EXPECT_TRUE(q.where.conditions()[2].negated);
+}
+
+TEST(SqlParserTest, TrueIsEmptyConjunction) {
+  auto q = *ParseSql("SELECT * FROM \"t\" WHERE TRUE");
+  EXPECT_TRUE(q.where.empty());
+}
+
+TEST(SqlParserTest, StringComparisonAndEscapes) {
+  auto q = *ParseSql(
+      "SELECT * FROM \"t\" WHERE \"name\" = 'O''Brien'");
+  ASSERT_EQ(q.where.size(), 1u);
+  EXPECT_EQ(q.where.conditions()[0].value.AsString(), "O'Brien");
+}
+
+TEST(SqlParserTest, BareIdentifiersAndCaseInsensitiveKeywords) {
+  auto q = *ParseSql("select budget from movies where budget > 10");
+  EXPECT_EQ(q.table_name, "movies");
+  EXPECT_EQ(q.columns, (std::vector<std::string>{"budget"}));
+  EXPECT_EQ(q.where.size(), 1u);
+}
+
+TEST(SqlParserTest, NegativeAndScientificNumbers) {
+  auto q = *ParseSql(
+      "SELECT * FROM \"t\" WHERE \"x\" > -2.5 AND \"y\" < 1e3");
+  EXPECT_DOUBLE_EQ(q.where.conditions()[0].value.AsDouble(), -2.5);
+  EXPECT_DOUBLE_EQ(q.where.conditions()[1].value.AsDouble(), 1000.0);
+}
+
+TEST(SqlParserTest, QuotedIdentifierWithSpaces) {
+  auto q = *ParseSql(
+      "SELECT \"% employees working long hours\" FROM \"oecd\" WHERE "
+      "\"% employees working long hours\" >= 20");
+  EXPECT_EQ(q.columns[0], "% employees working long hours");
+}
+
+TEST(SqlParserTest, ErrorsAreInvalidArgument) {
+  EXPECT_EQ(ParseSql("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM \"t\" WHERE").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM \"t\" WHERE \"x\" ==").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM \"t\" WHERE \"g\" IN (1)")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM \"t\" extra").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSql("SELECT * FROM \"unterminated").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SqlParserTest, RoundTripPreservesSemantics) {
+  const char* queries[] = {
+      "SELECT * FROM \"t\";",
+      "SELECT \"a\", \"b\" FROM \"t\" WHERE \"a\" <= 3.25;",
+      "SELECT \"a\" FROM \"t\" WHERE \"g\" IN ('x', 'y') AND \"a\" > 1;",
+      "SELECT \"a\" FROM \"t\" WHERE \"g\" NOT IN ('z') AND \"b\" IS NULL;",
+  };
+  for (const char* sql : queries) {
+    auto q1 = *ParseSql(sql);
+    auto q2 = *ParseSql(q1.ToSql());  // parse the re-rendered form
+    EXPECT_EQ(q1.ToSql(), q2.ToSql()) << sql;
+  }
+}
+
+TEST(ParseWhereTest, BareClause) {
+  auto conj = *ParseWhere("\"x\" >= 22 AND \"g\" IN ('a')");
+  EXPECT_EQ(conj.size(), 2u);
+  EXPECT_EQ(ParseWhere("TRUE")->size(), 0u);
+  EXPECT_FALSE(ParseWhere("\"x\" >= ").ok());
+}
+
+TEST(SqlParserTest, ParsedQueryExecutes) {
+  TableBuilder b(Schema({{"x", DataType::kDouble},
+                         {"g", DataType::kString}}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.AppendRow({Value::Double(i),
+                             Value::Str(i % 2 ? "odd" : "even")})
+                    .ok());
+  }
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("t", *b.Finish()).ok());
+  auto q = *ParseSql(
+      "SELECT \"x\" FROM \"t\" WHERE \"x\" >= 4 AND \"g\" IN ('even')");
+  auto result = *q.Execute(cat);
+  EXPECT_EQ(result->num_rows(), 3u);  // 4, 6, 8
+  EXPECT_EQ(result->num_columns(), 1u);
+}
+
+}  // namespace
+}  // namespace blaeu::monet

@@ -1,0 +1,139 @@
+// Unit tests for Schema, Table and TableBuilder.
+#include "monet/table.h"
+
+#include <gtest/gtest.h>
+
+namespace blaeu::monet {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+}
+
+Result<TablePtr> TestTable() {
+  TableBuilder b(TestSchema());
+  EXPECT_TRUE(
+      b.AppendRow({Value::Int(1), Value::Str("a"), Value::Double(1.5)}).ok());
+  EXPECT_TRUE(
+      b.AppendRow({Value::Int(2), Value::Str("b"), Value::Null()}).ok());
+  EXPECT_TRUE(
+      b.AppendRow({Value::Int(3), Value::Str("c"), Value::Double(3.5)}).ok());
+  return b.Finish();
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(*s.FieldIndex("name"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").has_value());
+  auto r = s.RequireFieldIndex("missing");
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+}
+
+TEST(SchemaTest, SelectReorders) {
+  Schema s = TestSchema().Select({2, 0});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.field(0).name, "score");
+  EXPECT_EQ(s.field(1).name, "id");
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  EXPECT_EQ(TestSchema().ToString(), "id:int64, name:string, score:double");
+}
+
+TEST(TableTest, BuildAndAccess) {
+  auto table = *TestTable();
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->num_columns(), 3u);
+  EXPECT_EQ(table->GetValue(1, 1).AsString(), "b");
+  EXPECT_TRUE(table->GetValue(1, 2).is_null());
+  std::vector<Value> row = table->Row(0);
+  EXPECT_EQ(row[0].AsInt(), 1);
+}
+
+TEST(TableTest, BuilderRejectsWrongArity) {
+  TableBuilder b(TestSchema());
+  Status s = b.AppendRow({Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, MakeValidatesColumns) {
+  auto bad_type = Table::Make(
+      TestSchema(), {std::make_shared<Column>(DataType::kString),
+                     std::make_shared<Column>(DataType::kString),
+                     std::make_shared<Column>(DataType::kDouble)});
+  EXPECT_EQ(bad_type.status().code(), StatusCode::kTypeError);
+
+  auto c1 = std::make_shared<Column>(DataType::kInt64);
+  c1->AppendInt(1);
+  auto ragged = Table::Make(
+      Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}),
+      {c1, std::make_shared<Column>(DataType::kInt64)});
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+
+  auto count = Table::Make(TestSchema(), {});
+  EXPECT_EQ(count.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, TakeMaterializesSubset) {
+  auto table = *TestTable();
+  TablePtr taken = table->Take({2, 0});
+  EXPECT_EQ(taken->num_rows(), 2u);
+  EXPECT_EQ(taken->GetValue(0, 0).AsInt(), 3);
+  EXPECT_EQ(taken->GetValue(1, 0).AsInt(), 1);
+}
+
+TEST(TableTest, ProjectSharesColumns) {
+  auto table = *TestTable();
+  TablePtr proj = table->Project({1});
+  EXPECT_EQ(proj->num_columns(), 1u);
+  EXPECT_EQ(proj->schema().field(0).name, "name");
+  // Columns are shared, not copied.
+  EXPECT_EQ(proj->column(0).get(), table->column(1).get());
+}
+
+TEST(TableTest, ProjectNames) {
+  auto table = *TestTable();
+  auto proj = table->ProjectNames({"score", "id"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ((*proj)->schema().field(0).name, "score");
+  auto missing = table->ProjectNames({"nope"});
+  EXPECT_EQ(missing.status().code(), StatusCode::kKeyError);
+}
+
+TEST(TableTest, ColumnByName) {
+  auto table = *TestTable();
+  auto col = table->ColumnByName("name");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), DataType::kString);
+  EXPECT_EQ(table->ColumnByName("zz").status().code(), StatusCode::kKeyError);
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  auto table = *TestTable();
+  std::string text = table->ToString(2);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+  EXPECT_NE(text.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, BuilderReusableAfterFinish) {
+  TableBuilder b(TestSchema());
+  ASSERT_TRUE(
+      b.AppendRow({Value::Int(1), Value::Str("a"), Value::Double(0.0)}).ok());
+  auto t1 = b.Finish();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ((*t1)->num_rows(), 1u);
+  // Builder is reset; a second table can be built.
+  ASSERT_TRUE(
+      b.AppendRow({Value::Int(9), Value::Str("z"), Value::Double(9.9)}).ok());
+  auto t2 = b.Finish();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ((*t2)->num_rows(), 1u);
+  EXPECT_EQ((*t2)->GetValue(0, 0).AsInt(), 9);
+}
+
+}  // namespace
+}  // namespace blaeu::monet

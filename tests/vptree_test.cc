@@ -1,0 +1,149 @@
+// Unit tests for the VP-tree index and index-backed DBSCAN.
+#include "cluster/vptree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/dbscan.h"
+#include "common/rng.h"
+#include "stats/distance.h"
+#include "stats/metrics.h"
+
+namespace blaeu::cluster {
+namespace {
+
+using stats::Matrix;
+
+Matrix RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < dims; ++f) data.At(i, f) = rng.NextGaussian();
+  }
+  return data;
+}
+
+/// Brute-force radius query for verification.
+std::vector<size_t> BruteRadius(const Matrix& data, size_t q, double r) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (stats::EuclideanDistance(data.RowPtr(q), data.RowPtr(i),
+                                 data.cols()) <= r) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+TEST(VpTreeTest, RadiusQueryMatchesBruteForce) {
+  Matrix data = RandomPoints(300, 4, 1);
+  VpTree tree(data);
+  for (size_t q = 0; q < 300; q += 23) {
+    for (double r : {0.5, 1.0, 2.0, 5.0}) {
+      EXPECT_EQ(tree.RadiusQuery(q, r), BruteRadius(data, q, r))
+          << "q=" << q << " r=" << r;
+    }
+  }
+}
+
+TEST(VpTreeTest, KnnMatchesBruteForce) {
+  Matrix data = RandomPoints(200, 3, 2);
+  VpTree tree(data);
+  for (size_t q = 0; q < 200; q += 17) {
+    for (size_t k : {1ul, 5ul, 20ul}) {
+      std::vector<size_t> knn = tree.KnnQuery(q, k);
+      ASSERT_EQ(knn.size(), k);
+      EXPECT_EQ(knn[0], q);  // self at distance 0
+      // Verify against a brute-force sort.
+      std::vector<std::pair<double, size_t>> all;
+      for (size_t i = 0; i < 200; ++i) {
+        all.emplace_back(stats::EuclideanDistance(data.RowPtr(q),
+                                                  data.RowPtr(i), 3),
+                         i);
+      }
+      std::sort(all.begin(), all.end());
+      for (size_t i = 0; i < k; ++i) {
+        EXPECT_DOUBLE_EQ(
+            stats::EuclideanDistance(data.RowPtr(q), data.RowPtr(knn[i]), 3),
+            all[i].first);
+      }
+    }
+  }
+}
+
+TEST(VpTreeTest, KnnDistanceMatchesQuery) {
+  Matrix data = RandomPoints(150, 2, 3);
+  VpTree tree(data);
+  for (size_t q = 0; q < 150; q += 31) {
+    std::vector<size_t> knn = tree.KnnQuery(q, 6);
+    double d = tree.KnnDistance(q, 6);
+    EXPECT_DOUBLE_EQ(
+        d, stats::EuclideanDistance(data.RowPtr(q), data.RowPtr(knn[5]), 2));
+  }
+}
+
+TEST(VpTreeTest, SinglePoint) {
+  Matrix data(1, 2);
+  VpTree tree(data);
+  EXPECT_EQ(tree.RadiusQuery(0, 1.0), (std::vector<size_t>{0}));
+  EXPECT_EQ(tree.KnnQuery(0, 1), (std::vector<size_t>{0}));
+}
+
+TEST(VpTreeTest, DuplicatePointsAllFound) {
+  Matrix data(10, 2);  // all at the origin
+  VpTree tree(data);
+  EXPECT_EQ(tree.RadiusQuery(3, 0.0).size(), 10u);
+}
+
+TEST(IndexedDbscanTest, AgreesWithMatrixDbscan) {
+  Rng rng(4);
+  Matrix data(250, 2);
+  for (size_t i = 0; i < 250; ++i) {
+    double cx = (i % 3) * 10.0;
+    data.At(i, 0) = rng.NextGaussian(cx, 0.4);
+    data.At(i, 1) = rng.NextGaussian(0.0, 0.4);
+  }
+  DbscanOptions opt;
+  opt.eps = 1.2;
+  opt.min_points = 4;
+  auto matrix_result = *Dbscan(stats::DistanceMatrix::Euclidean(data), opt);
+  IndexedDbscanResult indexed =
+      DbscanIndexed(data, opt.eps, opt.min_points);
+  EXPECT_EQ(indexed.num_clusters, matrix_result.num_clusters);
+  EXPECT_EQ(indexed.num_noise, matrix_result.num_noise);
+  // Same partition up to relabeling; compare only core/border points.
+  std::vector<int> a, b;
+  for (size_t i = 0; i < 250; ++i) {
+    if (matrix_result.labels[i] >= 0 && indexed.labels[i] >= 0) {
+      a.push_back(matrix_result.labels[i]);
+      b.push_back(indexed.labels[i]);
+    }
+    // Noise agrees exactly.
+    EXPECT_EQ(matrix_result.labels[i] < 0, indexed.labels[i] < 0);
+  }
+  EXPECT_DOUBLE_EQ(stats::AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(IndexedDbscanTest, ScalesToLargerInputs) {
+  Rng rng(5);
+  Matrix data(5000, 3);
+  std::vector<int> truth;
+  for (size_t i = 0; i < 5000; ++i) {
+    int c = static_cast<int>(i % 4);
+    truth.push_back(c);
+    for (size_t f = 0; f < 3; ++f) {
+      data.At(i, f) = rng.NextGaussian(8.0 * ((c >> f) & 1), 0.5);
+    }
+  }
+  IndexedDbscanResult result = DbscanIndexed(data, 1.5, 5);
+  EXPECT_EQ(result.num_clusters, 4u);
+  std::vector<int> labels = result.labels;
+  for (auto& l : labels) {
+    if (l < 0) l = 99;  // noise bucket for ARI
+  }
+  EXPECT_GT(stats::AdjustedRandIndex(labels, truth), 0.95);
+}
+
+}  // namespace
+}  // namespace blaeu::cluster
