@@ -8,6 +8,8 @@
 #include "cluster/clara.h"
 #include "cluster/kmeans.h"
 #include "cluster/pam.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "stats/distance.h"
 #include "stats/metrics.h"
 #include "workloads/gaussian.h"
@@ -49,6 +51,8 @@ void BM_Pam(benchmark::State& state) {
   const Fixture& f = MixtureCached(static_cast<size_t>(state.range(0)));
   double ari = 0;
   for (auto _ : state) {
+    ScopedTimer latency(&obs::MetricsRegistry::Global(),
+                        "bench.pam_seconds");
     auto dist = stats::DistanceMatrix::Euclidean(f.features);
     auto result = cluster::Pam(dist, 4);
     if (!result.ok()) state.SkipWithError("pam failed");
@@ -81,6 +85,8 @@ void BM_Clara(benchmark::State& state) {
   double ari = 0;
   cluster::ClaraOptions opt;
   for (auto _ : state) {
+    ScopedTimer latency(&obs::MetricsRegistry::Global(),
+                        "bench.clara_seconds");
     opt.seed++;
     auto result = cluster::Clara(n, dist_fn, 4, opt);
     if (!result.ok()) state.SkipWithError("clara failed");

@@ -7,10 +7,22 @@
 //   - unsampled maps (the whole selection is clustered)
 // The sampled latency should stay flat; the unsampled one grows.
 // google-benchmark binary: run with --benchmark_filter=... to narrow.
+//
+// After the sweeps, one traced build at the operating point emits
+//   BENCH_map_pipeline_stages.json  — per-stage latency breakdown
+//   BENCH_map_pipeline_trace.json   — chrome://tracing-loadable span dump
+// so the dominant pipeline stage is known before optimizing anything.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+
+#include "common/json_writer.h"
+#include "common/timer.h"
 #include "core/map_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workloads/lofar.h"
 
 using namespace blaeu;
@@ -48,6 +60,10 @@ void BM_MapSampled(benchmark::State& state) {
   opt.fixed_k = 4;
   uint64_t seed = 1;
   for (auto _ : state) {
+    // ScopedTimer feeds the global latency histogram the stage-breakdown
+    // report prints alongside the google-benchmark numbers.
+    ScopedTimer latency(&obs::MetricsRegistry::Global(),
+                        "bench.map_sampled_seconds");
     opt.seed = seed++;
     auto map = core::BuildMap(
         *data.table, monet::SelectionVector::All(data.table->num_rows()),
@@ -94,6 +110,75 @@ BENCHMARK(BM_MapUnsampled)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
 
+/// One traced build at the paper's operating point; writes the per-stage
+/// breakdown + chrome trace next to the benchmark output.
+void EmitStageBreakdown() {
+  constexpr size_t kRows = 32000;
+  const auto& data = LofarCached(kRows);
+  auto columns = FluxColumns(*data.table);
+
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  obs::MetricsRegistry metrics;
+  core::MapOptions opt;
+  opt.sample_size = 2000;
+  opt.fixed_k = 4;
+  opt.seed = 7;
+  opt.tracer = &tracer;
+  opt.metrics = &metrics;
+  auto map = core::BuildMap(
+      *data.table, monet::SelectionVector::All(data.table->num_rows()),
+      columns, opt);
+  if (!map.ok()) {
+    std::fprintf(stderr, "stage breakdown build failed: %s\n",
+                 map.status().ToString().c_str());
+    return;
+  }
+
+  // Stage table: direct children of the core.map.build root span.
+  std::vector<obs::SpanRecord> spans = tracer.Finished();
+  int build_id = -1;
+  for (const auto& s : spans) {
+    if (s.name == "core.map.build") build_id = s.id;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "map_pipeline_stages");
+  w.KV("rows", kRows);
+  w.KV("sample_size", opt.sample_size);
+  w.KV("k", map->num_clusters);
+  w.KV("algorithm", map->algorithm);
+  w.KV("total_ms", map->build_seconds * 1e3);
+  w.Key("stages").BeginArray();
+  for (const auto& s : spans) {
+    if (s.parent != build_id || s.duration_ns < 0) continue;
+    w.BeginObject();
+    w.KV("name", s.name);
+    w.KV("ms", static_cast<double>(s.duration_ns) / 1e6);
+    for (const auto& [k, v] : s.attrs) w.KV(k, v);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics").RawValue(metrics.ToJson());
+  w.EndObject();
+
+  std::ofstream stages("BENCH_map_pipeline_stages.json");
+  stages << w.str() << "\n";
+  std::ofstream trace("BENCH_map_pipeline_trace.json");
+  trace << tracer.ToChromeTrace() << "\n";
+  std::printf("%s\n", w.str().c_str());
+  std::printf(
+      "wrote BENCH_map_pipeline_stages.json and BENCH_map_pipeline_trace.json"
+      " (load the trace in chrome://tracing)\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  EmitStageBreakdown();
+  return 0;
+}

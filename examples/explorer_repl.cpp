@@ -20,6 +20,8 @@
 //   history             show the breadcrumb trail
 //   rollback            undo the last action
 //   json                dump the current map as JSON
+//   stats               per-session and process-wide metrics (JSON)
+//   trace <path>        dump a Chrome trace of all spans so far to <path>
 //   help                this text
 //   quit                exit
 
@@ -28,8 +30,11 @@
 #include <sstream>
 #include <string>
 
+#include <fstream>
+
 #include "common/string_util.h"
 #include "core/explorer.h"
+#include "obs/trace.h"
 #include "core/atlas.h"
 #include "core/report.h"
 #include "core/suggest.h"
@@ -48,7 +53,7 @@ void PrintHelp() {
       "          highlight <col> | detail <col> | scatter <x> <y> |\n"
       "          annotate <r> <note> | suggest | atlas | inspect <r> |\n"
       "          sql | history | rollback | json | session |\n"
-      "          export <dir> | help | quit\n");
+      "          stats | trace <path> | export <dir> | help | quit\n");
 }
 
 monet::TablePtr LoadDataset(const std::string& arg, std::string* name) {
@@ -89,15 +94,24 @@ int main(int argc, char** argv) {
   std::printf("Loaded '%s': %zu rows x %zu columns\n", name.c_str(),
               table->num_rows(), table->num_columns());
 
+  // Trace every map build of the session; the `trace` command dumps the
+  // accumulated spans as a chrome://tracing file.
+  obs::Tracer::Global().set_enabled(true);
+
   core::SessionOptions options;
   options.map.sample_size = 2000;
-  auto session_or = core::Session::Start(table, name, options);
+  core::Explorer explorer(options);
+  if (Status st = explorer.LoadTable(table, name); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto session_or = explorer.OpenSession(name);
   if (!session_or.ok()) {
     std::fprintf(stderr, "session failed: %s\n",
                  session_or.status().ToString().c_str());
     return 1;
   }
-  core::Session session = std::move(session_or).ValueOrDie();
+  core::Session& session = **session_or;
   std::printf("%s\n", core::RenderThemeList(session.themes()).c_str());
   std::printf("%s\n", core::RenderMap(session.current().map).c_str());
   PrintHelp();
@@ -246,6 +260,22 @@ int main(int argc, char** argv) {
       std::printf("report written to %s/\n", dir.c_str());
     } else if (cmd == "session") {
       std::printf("%s\n", session.ToJson().c_str());
+    } else if (cmd == "stats") {
+      std::printf("%s\n", explorer.StatsReport().c_str());
+    } else if (cmd == "trace") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("usage: trace <output path>\n");
+        continue;
+      }
+      std::ofstream out(path);
+      if (!out.is_open()) {
+        std::printf("cannot open '%s' for writing\n", path.c_str());
+        continue;
+      }
+      out << obs::Tracer::Global().ToChromeTrace();
+      std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                  path.c_str());
     } else if (cmd == "sql") {
       std::printf("%s\n", session.CurrentQuery().ToSql().c_str());
     } else if (cmd == "history") {

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "cluster/pam.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "stats/distance.h"
 
 namespace blaeu::cluster {
@@ -19,6 +21,14 @@ Result<ClusteringResult> Clara(size_t n, const RowDistanceFn& dist_fn,
       options.sample_size > 0 ? options.sample_size : 40 + 2 * k;
   sample_size = std::min(sample_size, n);
   if (sample_size < k) sample_size = k;
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("cluster.clara.runs")->Increment();
+  registry.counter("cluster.clara.samples")
+      ->Add(static_cast<int64_t>(options.num_samples));
+  registry.counter("cluster.clara.rows_assigned")
+      ->Add(static_cast<int64_t>(n * options.num_samples));
+  ScopedTimer latency(registry.histogram("cluster.clara.run_seconds"));
 
   Rng rng(options.seed);
   PamOptions pam_options;

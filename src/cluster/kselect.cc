@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "cluster/pam.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace blaeu::cluster {
 
@@ -18,6 +20,12 @@ Result<KSelectResult> SelectK(const DistanceMatrix& dist,
   if (k_min > k_max) {
     return Status::Invalid("empty k range after clamping");
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("cluster.kselect.sweeps")->Increment();
+  registry.counter("cluster.kselect.candidates")
+      ->Add(static_cast<int64_t>(k_max - k_min + 1));
+  ScopedTimer latency(registry.histogram("cluster.kselect.sweep_seconds"));
+
   KSelectResult out;
   out.best_score = -2.0;  // silhouettes live in [-1, 1]
   for (size_t k = k_min; k <= k_max; ++k) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace blaeu::cluster {
 
 using stats::DistanceMatrix;
@@ -149,6 +151,7 @@ Result<ClusteringResult> PamImpl(const DistanceMatrix& dist, size_t k,
   };
   recompute_neighbors();
 
+  size_t swaps = 0;
   for (size_t iter = 0; iter < options.max_swap_iterations; ++iter) {
     double best_delta = -1e-12;
     size_t best_m = 0, best_c = 0;
@@ -159,7 +162,12 @@ Result<ClusteringResult> PamImpl(const DistanceMatrix& dist, size_t k,
     medoids[best_m] = best_c;
     is_medoid[best_c] = true;
     recompute_neighbors();
+    ++swaps;
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("cluster.pam.runs")->Increment();
+  registry.counter("cluster.pam.swap_iterations")
+      ->Add(static_cast<int64_t>(swaps));
   std::sort(medoids.begin(), medoids.end());
   return AssignFromMatrix(dist, medoids);
 }
@@ -244,6 +252,7 @@ Result<ClusteringResult> PamNaive(const DistanceMatrix& dist, size_t k,
   };
   recompute_neighbors();
 
+  size_t swaps = 0;
   for (size_t iter = 0; iter < options.max_swap_iterations; ++iter) {
     double best_delta = -1e-12;  // strictly improving swaps only
     size_t best_m = 0, best_c = 0;
@@ -273,7 +282,12 @@ Result<ClusteringResult> PamNaive(const DistanceMatrix& dist, size_t k,
     medoids[best_m] = best_c;
     is_medoid[best_c] = true;
     recompute_neighbors();
+    ++swaps;
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("cluster.pam.runs")->Increment();
+  registry.counter("cluster.pam.swap_iterations")
+      ->Add(static_cast<int64_t>(swaps));
 
   // Canonical order: medoids sorted by index so labels are deterministic.
   std::sort(medoids.begin(), medoids.end());

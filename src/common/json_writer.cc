@@ -95,6 +95,12 @@ JsonWriter& JsonWriter::String(const std::string& value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(const std::string& json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Number(double value) {
   MaybeComma();
   if (!std::isfinite(value)) {

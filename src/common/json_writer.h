@@ -24,6 +24,10 @@ class JsonWriter {
   JsonWriter& Key(const std::string& key);
 
   JsonWriter& String(const std::string& value);
+  /// Splices `json` in verbatim as one value (it must itself be a complete
+  /// JSON value). Lets pre-serialized documents nest without re-parsing,
+  /// e.g. a MetricsRegistry dump inside a stats report.
+  JsonWriter& RawValue(const std::string& json);
   JsonWriter& Number(double value);
   JsonWriter& Int(int64_t value);
   JsonWriter& Bool(bool value);

@@ -1,10 +1,14 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
 
 namespace blaeu {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,16 +23,57 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Initial level: BLAEU_LOG_LEVEL (name or 0-3) when set, kWarn otherwise.
+LogLevel InitialLevel() {
+  const char* env = std::getenv("BLAEU_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) return level;
+  std::fprintf(stderr, "[blaeu WARN] unrecognized BLAEU_LOG_LEVEL '%s'\n",
+               env);
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{InitialLevel()};
+
+/// Seconds since the first log call, so lines order and gaps are visible.
+double UptimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string t = ToLower(std::string(Trim(text)));
+  if (t == "debug" || t == "0") {
+    *level = LogLevel::kDebug;
+  } else if (t == "info" || t == "1") {
+    *level = LogLevel::kInfo;
+  } else if (t == "warn" || t == "warning" || t == "2") {
+    *level = LogLevel::kWarn;
+  } else if (t == "error" || t == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 void LogLine(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[blaeu %s] %s\n", LevelName(level), msg.c_str());
+  if (level < GetLogLevel()) return;
+  std::fprintf(stderr, "[%11.6f blaeu %-5s] %s\n", UptimeSeconds(),
+               LevelName(level), msg.c_str());
 }
 
 }  // namespace internal

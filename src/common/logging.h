@@ -1,5 +1,9 @@
-// Lightweight leveled logging to stderr. Off by default above kWarn so that
-// examples and benches stay quiet unless asked.
+// Lightweight leveled logging to stderr. Off below kWarn by default so that
+// examples and benches stay quiet unless asked; the BLAEU_LOG_LEVEL
+// environment variable ("debug"/"info"/"warn"/"error" or 0-3) sets the
+// initial level. Lines carry a monotonic uptime timestamp and severity tag:
+//   [   0.001234 blaeu INFO ] message
+// The level is an atomic: SetLogLevel is safe from any thread.
 #pragma once
 
 #include <sstream>
@@ -9,9 +13,13 @@ namespace blaeu {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum level that is emitted.
+/// Sets the global minimum level that is emitted. Thread-safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// case-insensitive) or digit 0-3. Returns false on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
 
 namespace internal {
 

@@ -1,5 +1,8 @@
 #include "core/explorer.h"
 
+#include "common/json_writer.h"
+#include "obs/metrics.h"
+
 namespace blaeu::core {
 
 Status Explorer::LoadCsv(const std::string& path, const std::string& name,
@@ -38,6 +41,41 @@ Status Explorer::CloseSession(const std::string& name) {
   }
   sessions_.erase(it);
   return Status::OK();
+}
+
+std::string Explorer::StatsReport() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tables").BeginArray();
+  for (const std::string& name : catalog_.List()) {
+    auto table = catalog_.Get(name);
+    w.BeginObject();
+    w.KV("name", name);
+    if (table.ok()) {
+      w.KV("rows", (*table)->num_rows());
+      w.KV("columns", (*table)->num_columns());
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("sessions").BeginArray();
+  for (const auto& [name, session] : sessions_) {
+    const SessionStats& s = session->stats();
+    w.BeginObject();
+    w.KV("table", name);
+    w.KV("states", session->history_size());
+    w.KV("maps_built", s.maps_built);
+    w.KV("map_build_seconds", s.map_build_seconds);
+    w.KV("last_build_seconds", s.last_build_seconds);
+    w.KV("actions", s.actions);
+    w.KV("rollbacks", s.rollbacks);
+    w.EndObject();
+  }
+  w.EndArray();
+  // The process-wide registry: counters/histograms from every layer.
+  w.Key("metrics").RawValue(obs::MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace blaeu::core

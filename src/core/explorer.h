@@ -48,6 +48,13 @@ class Explorer {
   /// Closes the session on `name` (KeyError if none).
   Status CloseSession(const std::string& name);
 
+  /// JSON snapshot of the explorer's observable state: loaded tables, open
+  /// sessions with their per-session stats (maps built, map-build seconds,
+  /// actions, rollbacks), and the process-wide metrics registry. This is
+  /// what the REPL's `stats` command prints and what a serving layer would
+  /// expose on a /stats endpoint.
+  std::string StatsReport() const;
+
  private:
   SessionOptions options_;
   monet::Catalog catalog_;

@@ -48,7 +48,8 @@ struct ClusterOutcome {
 
 Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
                                      const FeatureMetric& metric,
-                                     const MapOptions& options) {
+                                     const MapOptions& options,
+                                     obs::Tracer* tracer, obs::Span* span) {
   const size_t n = features.rows();
   MapAlgorithm algo = options.algorithm;
   if (algo == MapAlgorithm::kAuto) {
@@ -116,9 +117,15 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
 
   // PAM / agglomerative / DBSCAN: need the full distance matrix.
   stats::DistanceMatrix dist(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) dist.Set(i, j, metric(i, j));
+  {
+    obs::Span dist_span(tracer, "core.map.distance_matrix");
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) dist.Set(i, j, metric(i, j));
+    }
+    dist_span.SetAttr("points", n);
+    dist_span.SetAttr("pairs", n * (n - 1) / 2);
   }
+  span->SetAttr("distance_matrix_points", n);
   if (algo == MapAlgorithm::kDbscan) {
     out.algorithm = "dbscan";
     // eps heuristic: 1.5x the median distance to the 5th nearest neighbor.
@@ -225,21 +232,45 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   Timer timer;
   if (columns.empty()) return Status::Invalid("no active columns");
   if (sel.empty()) return Status::Invalid("empty selection");
+
+  obs::Tracer* tracer =
+      options.tracer != nullptr ? options.tracer : &obs::Tracer::Global();
+  obs::MetricsRegistry* metrics = options.metrics != nullptr
+                                      ? options.metrics
+                                      : &obs::MetricsRegistry::Global();
+  obs::Span build_span(tracer, "core.map.build");
+  build_span.SetAttr("selection_rows", sel.size());
+  build_span.SetAttr("columns", columns.size());
+  metrics->counter("core.map.builds")->Increment();
+  ScopedTimer build_latency(metrics->histogram("core.map.build_seconds"));
+
   BLAEU_ASSIGN_OR_RETURN(TablePtr view, table.ProjectNames(columns));
 
   // 1. Sample the selection (paper: a few thousand tuples per map).
   Rng rng(options.seed);
   SelectionVector sample = sel;
-  if (options.sample_size > 0 && sel.size() > options.sample_size) {
-    sample = monet::SampleFromSelection(sel, options.sample_size, &rng);
+  {
+    obs::Span span(tracer, "core.map.sample");
+    if (options.sample_size > 0 && sel.size() > options.sample_size) {
+      sample = monet::SampleFromSelection(sel, options.sample_size, &rng);
+    }
+    span.SetAttr("rows_in", sel.size());
+    span.SetAttr("rows_sampled", sample.size());
   }
 
   // 2. Preprocess into vectors. A selection whose columns are all constant
   // (e.g. after zooming into a single-category region) yields a trivial
   // one-region map instead of an error: the user can still highlight,
   // inspect and roll back.
-  Result<PreprocessedData> pre_or = Preprocess(*view, sample,
-                                               options.preprocess);
+  Result<PreprocessedData> pre_or = [&]() -> Result<PreprocessedData> {
+    obs::Span span(tracer, "core.map.preprocess");
+    auto result = Preprocess(*view, sample, options.preprocess);
+    if (result.ok()) {
+      span.SetAttr("feature_rows", result.ValueOrDie().features.rows());
+      span.SetAttr("feature_cols", result.ValueOrDie().features.cols());
+    }
+    return result;
+  }();
   DataMap map;
   map.active_columns = columns;
   map.total_tuples = sel.size();
@@ -281,31 +312,55 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
       &pre.features,
       options.preprocess.encoding == CategoricalEncoding::kGower,
       stats::GowerDistance::Fit(pre.features, pre.categorical_mask())};
-  BLAEU_ASSIGN_OR_RETURN(ClusterOutcome outcome,
-                         RunClustering(pre.features, metric, options));
+  ClusterOutcome outcome;
+  {
+    obs::Span span(tracer, "core.map.cluster");
+    BLAEU_ASSIGN_OR_RETURN(
+        outcome, RunClustering(pre.features, metric, options, tracer, &span));
+    span.SetAttr("algorithm", outcome.algorithm);
+    span.SetAttr("k", outcome.result.num_clusters());
+    span.SetAttr("silhouette", outcome.silhouette);
+  }
   map.num_clusters = outcome.result.num_clusters();
   map.silhouette = outcome.silhouette;
   map.algorithm = outcome.algorithm;
+  metrics->histogram("core.map.silhouette")->Observe(outcome.silhouette);
 
   // 4. Describe the clusters with a decision tree on the original columns.
-  BLAEU_ASSIGN_OR_RETURN(
-      tree::CartModel model,
-      tree::CartModel::Train(*view, pre.rows, outcome.result.labels,
-                             options.tree));
-  map.tree_fidelity = model.Fidelity(*view, pre.rows, outcome.result.labels);
+  Result<tree::CartModel> model_or = [&]() -> Result<tree::CartModel> {
+    obs::Span span(tracer, "core.map.describe");
+    BLAEU_ASSIGN_OR_RETURN(
+        tree::CartModel model,
+        tree::CartModel::Train(*view, pre.rows, outcome.result.labels,
+                               options.tree));
+    map.tree_fidelity =
+        model.Fidelity(*view, pre.rows, outcome.result.labels);
+    span.SetAttr("fidelity", map.tree_fidelity);
+    return model;
+  }();
+  if (!model_or.ok()) return model_or.status();
+  const tree::CartModel& model = *model_or;
 
   // 5. Assemble the region hierarchy from the tree.
-  BuildRegions(model, model.root(), -1, monet::Conjunction(), &map);
+  {
+    obs::Span span(tracer, "core.map.assemble");
+    BuildRegions(model, model.root(), -1, monet::Conjunction(), &map);
+    span.SetAttr("regions", map.regions.size());
+  }
 
   // 6. Tuple counts over the FULL selection via the region predicates.
-  for (MapRegion& region : map.regions) {
-    if (region.parent < 0) {
-      region.tuple_count = sel.size();
-      continue;
+  {
+    obs::Span span(tracer, "core.map.count");
+    for (MapRegion& region : map.regions) {
+      if (region.parent < 0) {
+        region.tuple_count = sel.size();
+        continue;
+      }
+      BLAEU_ASSIGN_OR_RETURN(SelectionVector rows,
+                             region.predicate.EvaluateOn(*view, sel));
+      region.tuple_count = rows.size();
     }
-    BLAEU_ASSIGN_OR_RETURN(SelectionVector rows,
-                           region.predicate.EvaluateOn(*view, sel));
-    region.tuple_count = rows.size();
+    span.SetAttr("rows_counted", sel.size());
   }
 
   // 7. Attach cluster medoids to leaves.

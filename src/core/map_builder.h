@@ -12,6 +12,8 @@
 #include "core/preprocess.h"
 #include "monet/selection.h"
 #include "monet/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tree/cart.h"
 
 namespace blaeu::core {
@@ -46,6 +48,12 @@ struct MapOptions {
   PreprocessOptions preprocess;
   tree::CartOptions tree;
   uint64_t seed = 42;
+  /// Observability sinks. Null means the process-global instances: spans go
+  /// to obs::Tracer::Global() (a no-op until enabled) and metrics to
+  /// obs::MetricsRegistry::Global(). Tests inject their own to watch one
+  /// build in isolation.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
   MapOptions() {
     tree.max_depth = 4;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/json_writer.h"
+#include "common/timer.h"
 #include "stats/histogram.h"
 
 namespace blaeu::core {
@@ -49,6 +50,7 @@ Result<Session> Session::Start(TablePtr table, std::string table_name,
 
 Result<DataMap> Session::MakeMap(const SelectionVector& sel,
                                  const std::vector<std::string>& columns) {
+  Timer build_timer;
   MapOptions map_options = options_.map;
   // Distinct deterministic seed per map so repeated zooms do not reuse the
   // exact same sample.
@@ -77,6 +79,10 @@ Result<DataMap> Session::MakeMap(const SelectionVector& sel,
     }
     map.total_tuples = sel.size();
   }
+  stats_.maps_built++;
+  stats_.actions++;
+  stats_.last_build_seconds = build_timer.ElapsedSeconds();
+  stats_.map_build_seconds += stats_.last_build_seconds;
   return map;
 }
 
@@ -283,6 +289,7 @@ Status Session::Rollback() {
     return Status::Invalid("already at the initial state");
   }
   history_.pop_back();
+  stats_.rollbacks++;
   return Status::OK();
 }
 
@@ -292,6 +299,7 @@ Status Session::RollbackTo(size_t index) {
                               " out of range");
   }
   history_.resize(index + 1);
+  stats_.rollbacks++;
   return Status::OK();
 }
 

@@ -83,6 +83,15 @@ struct ScatterDetailResult {
   std::vector<RegionDetail> regions;
 };
 
+/// \brief Per-session usage and latency statistics (obs integration).
+struct SessionStats {
+  size_t maps_built = 0;          ///< BuildMap calls over the session's life
+  double map_build_seconds = 0.0; ///< total wall-clock spent building maps
+  double last_build_seconds = 0.0;
+  size_t actions = 0;             ///< states pushed (zoom/select/project)
+  size_t rollbacks = 0;
+};
+
 /// \brief An interactive exploration session over one table.
 ///
 /// The session owns a state stack. Actions push states; Rollback pops them.
@@ -152,6 +161,9 @@ class Session {
   /// Returns to state `index` (0-based), discarding everything after it.
   Status RollbackTo(size_t index);
 
+  /// Usage/latency counters accumulated since the session started.
+  const SessionStats& stats() const { return stats_; }
+
   /// The implicit Select-Project query of the current state.
   monet::SelectProjectQuery CurrentQuery() const;
 
@@ -177,6 +189,7 @@ class Session {
   monet::MultiScaleSampler sampler_;
   std::vector<NavState> history_;
   uint64_t map_seed_counter_ = 0;
+  SessionStats stats_;
 };
 
 }  // namespace blaeu::core

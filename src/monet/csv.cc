@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace blaeu::monet {
 
@@ -125,6 +127,9 @@ Status AppendToken(Column* col, const std::string& token,
 }  // namespace
 
 Result<TablePtr> ReadCsv(std::istream& in, const CsvOptions& options) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("monet.csv.reads")->Increment();
+  ScopedTimer latency(registry.histogram("monet.csv.read_seconds"));
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) {
@@ -210,6 +215,8 @@ Result<TablePtr> ReadCsv(std::istream& in, const CsvOptions& options) {
           AppendToken(raw[c], fields[c], options.null_tokens, li + 1));
     }
   }
+  registry.counter("monet.csv.rows_read")
+      ->Add(static_cast<int64_t>(lines.size() - first_data));
   return Table::Make(Schema(std::move(schema_fields)), std::move(columns));
 }
 

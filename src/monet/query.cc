@@ -1,5 +1,8 @@
 #include "monet/query.h"
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace blaeu::monet {
 
 std::string SelectProjectQuery::ToSql() const {
@@ -23,7 +26,14 @@ Result<TablePtr> SelectProjectQuery::Execute(const Catalog& catalog) const {
 }
 
 Result<TablePtr> SelectProjectQuery::ExecuteOn(const Table& table) const {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("monet.query.executions")->Increment();
+  registry.counter("monet.query.rows_scanned")
+      ->Add(static_cast<int64_t>(table.num_rows()));
+  ScopedTimer latency(registry.histogram("monet.query.seconds"));
   BLAEU_ASSIGN_OR_RETURN(SelectionVector sel, where.Evaluate(table));
+  registry.counter("monet.query.rows_returned")
+      ->Add(static_cast<int64_t>(sel.size()));
   TablePtr filtered = table.Take(sel.rows());
   if (columns.empty()) return filtered;
   return filtered->ProjectNames(columns);

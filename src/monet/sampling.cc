@@ -6,12 +6,28 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace blaeu::monet {
+
+namespace {
+
+/// One tally for every sampler so dashboards see total sampling pressure.
+void CountSampled(const char* sampler, size_t rows) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("monet.sampling.rows_sampled")
+      ->Add(static_cast<int64_t>(rows));
+  registry.counter(std::string("monet.sampling.") + sampler + ".draws")
+      ->Increment();
+}
+
+}  // namespace
 
 SelectionVector UniformSampleIndices(size_t n, size_t k, Rng* rng) {
   std::vector<size_t> picks = rng->SampleWithoutReplacement(n, k);
   std::vector<uint32_t> rows(picks.begin(), picks.end());
   std::sort(rows.begin(), rows.end());
+  CountSampled("uniform", rows.size());
   return SelectionVector(std::move(rows));
 }
 
@@ -23,6 +39,7 @@ SelectionVector SampleFromSelection(const SelectionVector& base, size_t k,
   rows.reserve(k);
   for (size_t p : picks) rows.push_back(base[p]);
   std::sort(rows.begin(), rows.end());
+  CountSampled("selection", rows.size());
   return SelectionVector(std::move(rows));
 }
 
@@ -39,6 +56,7 @@ SelectionVector ReservoirSampleIndices(size_t n, size_t k, Rng* rng) {
     }
   }
   std::sort(reservoir.begin(), reservoir.end());
+  CountSampled("reservoir", reservoir.size());
   return SelectionVector(std::move(reservoir));
 }
 
@@ -115,6 +133,7 @@ SelectionVector MultiScaleSampler::SampleAtMost(
     }
   }
   std::sort(rows.begin(), rows.end());
+  CountSampled("multiscale", rows.size());
   return SelectionVector(std::move(rows));
 }
 

@@ -202,6 +202,63 @@ TEST(MapBuilderTest, KSweepPicksPlantedK) {
   EXPECT_EQ(map.num_clusters, 3u);
 }
 
+TEST(MapBuilderTest, BuildRecordsStageSpans) {
+  auto data = Mixture(500, 3, 20);
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  obs::MetricsRegistry metrics;
+  MapOptions opt;
+  opt.fixed_k = 3;
+  opt.sample_size = 200;
+  opt.tracer = &tracer;
+  opt.metrics = &metrics;
+  auto map = *BuildMap(*data.table, monet::SelectionVector::All(500),
+                       ColumnNames(*data.table), opt);
+  ASSERT_EQ(map.num_clusters, 3u);
+
+  // The pipeline must record one root span with the four paper stages
+  // (sample -> preprocess -> cluster -> describe) as its children, each
+  // closed with a non-zero duration.
+  auto spans = tracer.Finished();
+  int build_id = -1;
+  for (const auto& s : spans) {
+    if (s.name == "core.map.build") build_id = s.id;
+  }
+  ASSERT_GE(build_id, 0);
+  for (const char* stage :
+       {"core.map.sample", "core.map.preprocess", "core.map.cluster",
+        "core.map.describe"}) {
+    bool found = false;
+    for (const auto& s : spans) {
+      if (s.name != stage) continue;
+      found = true;
+      EXPECT_EQ(s.parent, build_id) << stage;
+      EXPECT_GT(s.duration_ns, 0) << stage;
+    }
+    EXPECT_TRUE(found) << "missing stage span " << stage;
+  }
+  // Cluster stage carries the chosen k as an attribute.
+  for (const auto& s : spans) {
+    if (s.name != "core.map.cluster") continue;
+    bool has_k = false;
+    for (const auto& [key, value] : s.attrs) {
+      if (key == "k") {
+        has_k = true;
+        EXPECT_EQ(value, "3");
+      }
+    }
+    EXPECT_TRUE(has_k);
+  }
+  // And the injected registry saw exactly this build.
+  EXPECT_EQ(metrics.counter("core.map.builds")->value(), 1);
+  EXPECT_EQ(metrics.histogram("core.map.build_seconds")->Snapshot().count,
+            1u);
+  // Chrome-trace export of a real build stays loadable (shape check).
+  std::string trace = tracer.ToChromeTrace();
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.find("core.map.cluster"), std::string::npos);
+}
+
 TEST(MapBuilderTest, ValidateRegionId) {
   auto data = Mixture(200, 2, 16);
   auto map = *BuildMap(*data.table);
