@@ -11,7 +11,9 @@
 // After the sweeps, one traced build at the operating point emits
 //   BENCH_map_pipeline_stages.json  — per-stage latency breakdown
 //   BENCH_map_pipeline_trace.json   — chrome://tracing-loadable span dump
-// so the dominant pipeline stage is known before optimizing anything.
+//   BENCH_map_pipeline_threads.json — wall clock at 1/2/4/N threads
+// so the dominant pipeline stage is known before optimizing anything and
+// the parallel layer's speedup stays measured.
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +21,7 @@
 #include <fstream>
 
 #include "common/json_writer.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/map_builder.h"
 #include "obs/metrics.h"
@@ -172,6 +175,71 @@ void EmitStageBreakdown() {
       " (load the trace in chrome://tracing)\n");
 }
 
+/// Thread-scaling sweep at the operating point: the same build at 1/2/4/N
+/// threads, best-of-5 wall clock. Writes BENCH_map_pipeline_threads.json
+/// so the parallel layer's speedup (and any 1-thread regression) is a
+/// tracked artifact rather than a claim.
+void EmitThreadScaling() {
+  constexpr size_t kRows = 32000;
+  constexpr int kReps = 5;
+  const auto& data = LofarCached(kRows);
+  auto columns = FluxColumns(*data.table);
+  auto sel = monet::SelectionVector::All(data.table->num_rows());
+
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  if (DefaultNumThreads() > 4) thread_counts.push_back(DefaultNumThreads());
+
+  core::MapOptions opt;
+  opt.sample_size = 2000;
+  opt.fixed_k = 4;
+  opt.seed = 7;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "map_pipeline_threads");
+  w.KV("rows", kRows);
+  w.KV("sample_size", opt.sample_size);
+  w.KV("reps", kReps);
+  w.KV("default_threads", DefaultNumThreads());
+  w.Key("results").BeginArray();
+  double one_thread_ms = 0.0;
+  for (size_t threads : thread_counts) {
+    opt.num_threads = threads;
+    // Warm-up rep primes the table cache, pool workers and allocator.
+    auto warm = core::BuildMap(*data.table, sel, columns, opt);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "thread scaling build failed: %s\n",
+                   warm.status().ToString().c_str());
+      return;
+    }
+    double best_ms = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      auto map = core::BuildMap(*data.table, sel, columns, opt);
+      const double ms = timer.ElapsedMillis();
+      if (!map.ok()) {
+        std::fprintf(stderr, "thread scaling build failed: %s\n",
+                     map.status().ToString().c_str());
+        return;
+      }
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) one_thread_ms = best_ms;
+    w.BeginObject();
+    w.KV("threads", threads);
+    w.KV("ms", best_ms);
+    w.KV("speedup_vs_1thread",
+         one_thread_ms > 0.0 ? one_thread_ms / best_ms : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::ofstream out("BENCH_map_pipeline_threads.json");
+  out << w.str() << "\n";
+  std::printf("%s\nwrote BENCH_map_pipeline_threads.json\n", w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,5 +248,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   EmitStageBreakdown();
+  EmitThreadScaling();
   return 0;
 }

@@ -20,6 +20,11 @@ struct KSelectOptions {
   /// instead of the exact one.
   bool monte_carlo = false;
   stats::MonteCarloSilhouetteOptions mc_options;
+  /// Thread budget for the sweep: one task per candidate k
+  /// (common/parallel.h: 0 = process default). Defaults to 1 (serial)
+  /// because `cluster_fn` must be thread-safe for any other value; the
+  /// selected k, labels and scores are identical at any value.
+  size_t num_threads = 1;
 };
 
 /// \brief Outcome of the sweep.

@@ -1,0 +1,208 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "obs/metrics.h"
+
+namespace blaeu {
+
+namespace {
+
+/// Non-zero while this thread is executing chunks of some ParallelFor.
+/// Nested parallel calls check it and run inline: the enclosing loop
+/// already owns the thread budget, and a worker blocking on an inner loop's
+/// completion could deadlock the pool.
+thread_local int tls_parallel_depth = 0;
+
+}  // namespace
+
+size_t NumThreadsFromEnv(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+size_t DefaultNumThreads() {
+  static const size_t cached = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    return NumThreadsFromEnv(std::getenv("BLAEU_NUM_THREADS"), hw);
+  }();
+  return cached;
+}
+
+size_t EffectiveNumThreads(size_t requested) {
+  return requested == 0 ? DefaultNumThreads() : requested;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: see class comment
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultNumThreads() : num_threads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+void ThreadPool::EnsureStarted() {
+  std::call_once(start_once_, [this] {
+    workers_.reserve(num_threads_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      started_ = true;
+    }
+    for (size_t i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    obs::MetricsRegistry::Global()
+        .gauge("common.parallel.workers")
+        ->Set(static_cast<double>(num_threads_));
+  });
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  EnsureStarted();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: heap-allocated and reference-counted so
+/// a helper task that is dequeued after the loop already finished (every
+/// chunk claimed by other participants) still has valid state to inspect.
+struct ForState {
+  ForState(size_t begin, size_t end, size_t grain, size_t num_chunks,
+           std::function<void(size_t, size_t)> body)
+      : begin(begin),
+        end(end),
+        grain(grain),
+        num_chunks(num_chunks),
+        body(std::move(body)) {}
+
+  const size_t begin;
+  const size_t end;
+  const size_t grain;
+  const size_t num_chunks;
+  const std::function<void(size_t, size_t)> body;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // guarded by mu; first exception wins
+
+  /// Claims and runs chunks until none remain. Called by the loop's caller
+  /// and by every helper task.
+  void RunChunks() {
+    ++tls_parallel_depth;
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          const size_t lo = begin + c * grain;
+          const size_t hi = std::min(end, lo + grain);
+          body(lo, hi);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error) error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      // acq_rel: releases this chunk's writes to whoever observes the final
+      // count (the waiting caller), and pairs with other chunks' releases.
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);  // pin the waiter's predicate
+        done_cv.notify_all();
+      }
+    }
+    --tls_parallel_depth;
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [this] {
+      return completed.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+};
+
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t num_threads, ThreadPool* pool) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+
+  ThreadPool& target = pool != nullptr ? *pool : ThreadPool::Global();
+  size_t threads = num_threads == 0 ? target.num_threads() : num_threads;
+  threads = std::min(threads, num_chunks);
+
+  if (threads <= 1 || tls_parallel_depth > 0) {
+    // Inline path: same chunking (the determinism contract), no pool, no
+    // allocation, exceptions propagate naturally.
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  static obs::Counter* tasks =
+      obs::MetricsRegistry::Global().counter("common.parallel.tasks");
+  tasks->Add(static_cast<int64_t>(num_chunks));
+
+  auto state = std::make_shared<ForState>(begin, end, grain, num_chunks, body);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    target.Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+  state->Wait();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace blaeu

@@ -9,6 +9,7 @@
 #include "cluster/kmeans.h"
 #include "cluster/kselect.h"
 #include "cluster/pam.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "monet/sampling.h"
@@ -46,6 +47,52 @@ struct ClusterOutcome {
   std::string algorithm;
 };
 
+/// One candidate of a k sweep.
+struct KSweepCandidate {
+  Status status = Status::OK();
+  cluster::ClusteringResult result;
+  double score = -2.0;
+};
+
+/// Runs `run_k` once per k in [lo, hi] — one parallel task per k — and
+/// picks the winner exactly as the serial ascending-k loop did: the first
+/// error (in k order) propagates, and the lowest k whose score strictly
+/// beats every smaller k wins.
+Status SweepK(
+    size_t lo, size_t hi, size_t num_threads,
+    const std::function<Result<cluster::ClusteringResult>(size_t)>& run_k,
+    const std::function<double(const cluster::ClusteringResult&)>& score_fn,
+    ClusterOutcome* out) {
+  const size_t count = hi - lo + 1;
+  std::vector<KSweepCandidate> candidates(count);
+  ParallelFor(
+      0, count, 1,
+      [&](size_t chunk_lo, size_t chunk_hi) {
+        for (size_t i = chunk_lo; i < chunk_hi; ++i) {
+          auto result = run_k(lo + i);
+          if (!result.ok()) {
+            candidates[i].status = result.status();
+            continue;
+          }
+          candidates[i].result = std::move(result).ValueOrDie();
+          candidates[i].score = score_fn(candidates[i].result);
+        }
+      },
+      num_threads);
+  double best = -2.0;
+  size_t best_i = count;
+  for (size_t i = 0; i < count; ++i) {
+    if (!candidates[i].status.ok()) return candidates[i].status;
+    if (candidates[i].score > best) {
+      best = candidates[i].score;
+      best_i = i;
+    }
+  }
+  if (best_i < count) out->result = std::move(candidates[best_i].result);
+  out->silhouette = best;
+  return Status::OK();
+}
+
 Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
                                      const FeatureMetric& metric,
                                      const MapOptions& options,
@@ -75,7 +122,6 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
   };
 
   ClusterOutcome out;
-  double best = -2.0;
 
   if (algo == MapAlgorithm::kClara) {
     out.algorithm = "clara";
@@ -84,16 +130,13 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
     auto dist_fn = [&](size_t i, size_t j) { return metric(i, j); };
     const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
     const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
-    for (size_t k = lo; k <= hi; ++k) {
-      BLAEU_ASSIGN_OR_RETURN(auto result,
-                             cluster::Clara(n, dist_fn, k, clara));
-      double s = score(result.labels, nullptr);
-      if (s > best) {
-        best = s;
-        out.result = std::move(result);
-      }
-    }
-    out.silhouette = best;
+    BLAEU_RETURN_NOT_OK(SweepK(
+        lo, hi, options.num_threads,
+        [&](size_t k) { return cluster::Clara(n, dist_fn, k, clara); },
+        [&](const cluster::ClusteringResult& r) {
+          return score(r.labels, nullptr);
+        },
+        &out));
     return out;
   }
 
@@ -103,27 +146,37 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
     km.seed = options.seed;
     const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
     const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
-    for (size_t k = lo; k <= hi; ++k) {
-      BLAEU_ASSIGN_OR_RETURN(auto result, cluster::KMeans(features, k, km));
-      double s = score(result.assignment.labels, nullptr);
-      if (s > best) {
-        best = s;
-        out.result = std::move(result.assignment);
-      }
-    }
-    out.silhouette = best;
+    BLAEU_RETURN_NOT_OK(SweepK(
+        lo, hi, options.num_threads,
+        [&](size_t k) -> Result<cluster::ClusteringResult> {
+          BLAEU_ASSIGN_OR_RETURN(auto result,
+                                 cluster::KMeans(features, k, km));
+          return std::move(result.assignment);
+        },
+        [&](const cluster::ClusteringResult& r) {
+          return score(r.labels, nullptr);
+        },
+        &out));
     return out;
   }
 
-  // PAM / agglomerative / DBSCAN: need the full distance matrix.
+  // PAM / agglomerative / DBSCAN: need the full distance matrix. Rows are
+  // independent, so it is built row-blocked on the pool; every (i, j) entry
+  // is computed exactly once regardless of the thread count.
   stats::DistanceMatrix dist(n);
   {
     obs::Span dist_span(tracer, "core.map.distance_matrix");
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) dist.Set(i, j, metric(i, j));
-    }
+    ParallelFor(
+        0, n, 16,
+        [&](size_t row_lo, size_t row_hi) {
+          for (size_t i = row_lo; i < row_hi; ++i) {
+            for (size_t j = i + 1; j < n; ++j) dist.Set(i, j, metric(i, j));
+          }
+        },
+        options.num_threads);
     dist_span.SetAttr("points", n);
     dist_span.SetAttr("pairs", n * (n - 1) / 2);
+    dist_span.SetAttr("threads", EffectiveNumThreads(options.num_threads));
   }
   span->SetAttr("distance_matrix_points", n);
   if (algo == MapAlgorithm::kDbscan) {
@@ -131,12 +184,17 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
     // eps heuristic: 1.5x the median distance to the 5th nearest neighbor.
     const size_t kNeighbor = std::min<size_t>(5, n - 1);
     std::vector<double> knn(n);
-    std::vector<double> row(n);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) row[j] = dist.At(i, j);
-      std::nth_element(row.begin(), row.begin() + kNeighbor, row.end());
-      knn[i] = row[kNeighbor];
-    }
+    ParallelFor(
+        0, n, 16,
+        [&](size_t row_lo, size_t row_hi) {
+          std::vector<double> row(n);
+          for (size_t i = row_lo; i < row_hi; ++i) {
+            for (size_t j = 0; j < n; ++j) row[j] = dist.At(i, j);
+            std::nth_element(row.begin(), row.begin() + kNeighbor, row.end());
+            knn[i] = row[kNeighbor];
+          }
+        },
+        options.num_threads);
     std::nth_element(knn.begin(), knn.begin() + n / 2, knn.end());
     cluster::DbscanOptions db;
     db.eps = std::max(1e-9, 1.5 * knn[n / 2]);
@@ -152,17 +210,16 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
     out.algorithm = "agglomerative";
     const size_t lo = options.fixed_k > 0 ? options.fixed_k : k_min;
     const size_t hi = options.fixed_k > 0 ? options.fixed_k : k_max;
-    for (size_t k = lo; k <= hi; ++k) {
-      BLAEU_ASSIGN_OR_RETURN(
-          auto result,
-          cluster::AgglomerativeToK(dist, cluster::Linkage::kAverage, k));
-      double s = score(result.labels, &dist);
-      if (s > best) {
-        best = s;
-        out.result = std::move(result);
-      }
-    }
-    out.silhouette = best;
+    BLAEU_RETURN_NOT_OK(SweepK(
+        lo, hi, options.num_threads,
+        [&](size_t k) {
+          return cluster::AgglomerativeToK(dist, cluster::Linkage::kAverage,
+                                           k);
+        },
+        [&](const cluster::ClusteringResult& r) {
+          return score(r.labels, &dist);
+        },
+        &out));
     return out;
   }
 
@@ -177,6 +234,7 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
   ks.k_max = k_max;
   ks.monte_carlo = use_mc;
   ks.mc_options = mc;
+  ks.num_threads = options.num_threads;  // Pam is thread-safe
   BLAEU_ASSIGN_OR_RETURN(auto selected, cluster::SelectKWithPam(dist, ks));
   out.result = std::move(selected.best);
   out.silhouette = selected.best_score;
@@ -241,8 +299,16 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   obs::Span build_span(tracer, "core.map.build");
   build_span.SetAttr("selection_rows", sel.size());
   build_span.SetAttr("columns", columns.size());
+  const size_t threads = EffectiveNumThreads(options.num_threads);
+  build_span.SetAttr("threads", threads);
   metrics->counter("core.map.builds")->Increment();
   ScopedTimer build_latency(metrics->histogram("core.map.build_seconds"));
+
+  // The map-wide thread budget flows into every stage.
+  PreprocessOptions pre_options = options.preprocess;
+  pre_options.num_threads = options.num_threads;
+  tree::CartOptions tree_options = options.tree;
+  tree_options.num_threads = options.num_threads;
 
   BLAEU_ASSIGN_OR_RETURN(TablePtr view, table.ProjectNames(columns));
 
@@ -264,7 +330,8 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   // inspect and roll back.
   Result<PreprocessedData> pre_or = [&]() -> Result<PreprocessedData> {
     obs::Span span(tracer, "core.map.preprocess");
-    auto result = Preprocess(*view, sample, options.preprocess);
+    span.SetAttr("threads", threads);
+    auto result = Preprocess(*view, sample, pre_options);
     if (result.ok()) {
       span.SetAttr("feature_rows", result.ValueOrDie().features.rows());
       span.SetAttr("feature_cols", result.ValueOrDie().features.cols());
@@ -307,14 +374,19 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
     return map;
   }
 
-  // 3. Cluster the vectors.
+  // 3. Cluster the vectors. Fitting the Gower metric is a full pass over
+  // the feature matrix, so it only happens when Gower is actually in use.
+  const bool use_gower =
+      options.preprocess.encoding == CategoricalEncoding::kGower;
   FeatureMetric metric{
-      &pre.features,
-      options.preprocess.encoding == CategoricalEncoding::kGower,
-      stats::GowerDistance::Fit(pre.features, pre.categorical_mask())};
+      &pre.features, use_gower,
+      use_gower
+          ? stats::GowerDistance::Fit(pre.features, pre.categorical_mask())
+          : stats::GowerDistance({}, {})};
   ClusterOutcome outcome;
   {
     obs::Span span(tracer, "core.map.cluster");
+    span.SetAttr("threads", threads);
     BLAEU_ASSIGN_OR_RETURN(
         outcome, RunClustering(pre.features, metric, options, tracer, &span));
     span.SetAttr("algorithm", outcome.algorithm);
@@ -329,10 +401,11 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   // 4. Describe the clusters with a decision tree on the original columns.
   Result<tree::CartModel> model_or = [&]() -> Result<tree::CartModel> {
     obs::Span span(tracer, "core.map.describe");
+    span.SetAttr("threads", threads);
     BLAEU_ASSIGN_OR_RETURN(
         tree::CartModel model,
         tree::CartModel::Train(*view, pre.rows, outcome.result.labels,
-                               options.tree));
+                               tree_options));
     map.tree_fidelity =
         model.Fidelity(*view, pre.rows, outcome.result.labels);
     span.SetAttr("fidelity", map.tree_fidelity);
@@ -348,17 +421,49 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
     span.SetAttr("regions", map.regions.size());
   }
 
-  // 6. Tuple counts over the FULL selection via the region predicates.
+  // 6. Tuple counts over the FULL selection, computed incrementally: a
+  // region's predicate is its parent's predicate AND its edge, so each
+  // region only applies its edge conjunction to the parent's row set —
+  // O(rows) per tree level instead of O(depth * rows) per region — and the
+  // regions of one level are counted in parallel (they read only their
+  // parents' row sets and write disjoint slots).
   {
     obs::Span span(tracer, "core.map.count");
-    for (MapRegion& region : map.regions) {
-      if (region.parent < 0) {
-        region.tuple_count = sel.size();
-        continue;
-      }
-      BLAEU_ASSIGN_OR_RETURN(SelectionVector rows,
-                             region.predicate.EvaluateOn(*view, sel));
-      region.tuple_count = rows.size();
+    span.SetAttr("threads", threads);
+    const size_t num_regions = map.regions.size();
+    std::vector<int> region_depth(num_regions, 0);
+    std::vector<std::vector<int>> levels;
+    for (const MapRegion& region : map.regions) {  // pre-order: parents first
+      int d = region.parent < 0 ? 0 : region_depth[region.parent] + 1;
+      region_depth[region.id] = d;
+      if (levels.size() <= static_cast<size_t>(d)) levels.resize(d + 1);
+      levels[static_cast<size_t>(d)].push_back(region.id);
+    }
+    std::vector<SelectionVector> region_rows(num_regions);
+    std::vector<Status> region_status(num_regions);
+    for (int id : levels[0]) {  // the root summarizes the whole selection
+      region_rows[id] = sel;
+      map.regions[id].tuple_count = sel.size();
+    }
+    for (size_t d = 1; d < levels.size(); ++d) {
+      const std::vector<int>& level = levels[d];
+      ParallelFor(
+          0, level.size(), 1,
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              MapRegion& region = map.regions[level[i]];
+              auto rows =
+                  region.edge.EvaluateOn(*view, region_rows[region.parent]);
+              if (!rows.ok()) {
+                region_status[region.id] = rows.status();
+                continue;
+              }
+              region_rows[region.id] = std::move(rows).ValueOrDie();
+              region.tuple_count = region_rows[region.id].size();
+            }
+          },
+          options.num_threads);
+      for (int id : level) BLAEU_RETURN_NOT_OK(region_status[id]);
     }
     span.SetAttr("rows_counted", sel.size());
   }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "monet/column_stats.h"
 #include "stats/normalize.h"
 
@@ -75,40 +77,55 @@ Result<PreprocessedData> Preprocess(const Table& table,
     std::unordered_map<std::string, int> code;  // kGower category codes
     double impute = 0.0;                        // numeric NaN replacement
   };
-  std::vector<ColumnPlan> plans;
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    if (is_key(c)) continue;
-    const Column& col = *table.column(c);
-    ColumnStats cs = monet::ComputeColumnStats(col, sel);
-    if (cs.count == cs.null_count) continue;  // all-null: nothing to encode
-    if (cs.distinct <= 1) continue;           // constant: no signal
-    ColumnPlan plan;
-    plan.column = c;
-    plan.categorical = monet::LooksCategorical(
-        col, cs, options.categorical_distinct_threshold);
-    if (plan.categorical) {
-      plan.categories = TopCategories(col, sel, options.max_categories);
-      if (options.encoding == CategoricalEncoding::kGower) {
-        for (size_t i = 0; i < plan.categories.size(); ++i) {
-          plan.code[plan.categories[i]] = static_cast<int>(i);
+  // Each column's plan (stats, category ranking, normalizer fit) is a full
+  // pass over the selection and independent of the others, so columns are
+  // planned in parallel and collected in schema order afterwards.
+  const size_t num_columns = table.num_columns();
+  std::vector<std::optional<ColumnPlan>> column_plans(num_columns);
+  ParallelFor(
+      0, num_columns, 1,
+      [&](size_t col_lo, size_t col_hi) {
+        for (size_t c = col_lo; c < col_hi; ++c) {
+          if (is_key(c)) continue;
+          const Column& col = *table.column(c);
+          ColumnStats cs = monet::ComputeColumnStats(col, sel);
+          if (cs.count == cs.null_count) continue;  // all-null: no encoding
+          if (cs.distinct <= 1) continue;           // constant: no signal
+          ColumnPlan plan;
+          plan.column = c;
+          plan.categorical = monet::LooksCategorical(
+              col, cs, options.categorical_distinct_threshold);
+          if (plan.categorical) {
+            plan.categories = TopCategories(col, sel, options.max_categories);
+            if (options.encoding == CategoricalEncoding::kGower) {
+              for (size_t i = 0; i < plan.categories.size(); ++i) {
+                plan.code[plan.categories[i]] = static_cast<int>(i);
+              }
+            }
+          } else {
+            std::vector<double> values;
+            values.reserve(sel.size());
+            for (uint32_t r : sel.rows()) {
+              if (!col.IsNull(r)) values.push_back(col.GetNumeric(r));
+            }
+            plan.normalizer = options.zscore
+                                  ? stats::Normalizer::ZScore(values)
+                                  : stats::Normalizer::MinMax(values);
+            double sum = 0;
+            for (double v : values) sum += plan.normalizer.Apply(v);
+            plan.impute = values.empty()
+                              ? 0.0
+                              : sum / static_cast<double>(values.size());
+          }
+          column_plans[c] = std::move(plan);
         }
-      }
-    } else {
-      std::vector<double> values;
-      values.reserve(sel.size());
-      for (uint32_t r : sel.rows()) {
-        if (!col.IsNull(r)) values.push_back(col.GetNumeric(r));
-      }
-      plan.normalizer = options.zscore ? stats::Normalizer::ZScore(values)
-                                       : stats::Normalizer::MinMax(values);
-      double sum = 0;
-      for (double v : values) sum += plan.normalizer.Apply(v);
-      plan.impute = values.empty()
-                        ? 0.0
-                        : sum / static_cast<double>(values.size());
-    }
+      },
+      options.num_threads);
+  std::vector<ColumnPlan> plans;
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (!column_plans[c].has_value()) continue;
     out.used_columns.push_back(c);
-    plans.push_back(std::move(plan));
+    plans.push_back(std::move(*column_plans[c]));
   }
   if (plans.empty()) {
     return Status::Invalid("no usable columns after preprocessing");
@@ -133,40 +150,49 @@ Result<PreprocessedData> Preprocess(const Table& table,
   out.features = stats::Matrix(n, dims);
   const bool gower = options.encoding == CategoricalEncoding::kGower;
 
-  for (size_t i = 0; i < n; ++i) {
-    uint32_t r = sel[i];
-    double* row = out.features.MutableRowPtr(i);
-    size_t f = 0;
-    for (const ColumnPlan& plan : plans) {
-      const Column& col = *table.column(plan.column);
-      if (!plan.categorical) {
-        if (col.IsNull(r)) {
-          row[f++] = gower ? kNaN : plan.impute;
-        } else {
-          row[f++] = plan.normalizer.Apply(col.GetNumeric(r));
+  // Fill one matrix row per selected tuple. Rows are disjoint, so the loop
+  // parallelizes with bit-identical output at any thread count.
+  ParallelFor(
+      0, n, 64,
+      [&](size_t row_lo, size_t row_hi) {
+        for (size_t i = row_lo; i < row_hi; ++i) {
+          uint32_t r = sel[i];
+          double* row = out.features.MutableRowPtr(i);
+          size_t f = 0;
+          for (const ColumnPlan& plan : plans) {
+            const Column& col = *table.column(plan.column);
+            if (!plan.categorical) {
+              if (col.IsNull(r)) {
+                row[f++] = gower ? kNaN : plan.impute;
+              } else {
+                row[f++] = plan.normalizer.Apply(col.GetNumeric(r));
+              }
+              continue;
+            }
+            if (gower) {
+              if (col.IsNull(r)) {
+                row[f++] = kNaN;
+              } else {
+                auto it = plan.code.find(col.GetValue(r).ToString());
+                // Categories beyond the cap share one overflow code.
+                row[f++] = it != plan.code.end()
+                               ? static_cast<double>(it->second)
+                               : static_cast<double>(plan.code.size());
+              }
+              continue;
+            }
+            // Dummy coding: 1 for the matching category, else 0. The null
+            // test and cell string are per-row, not per-category.
+            const bool is_null = col.IsNull(r);
+            const std::string cell =
+                is_null ? std::string() : col.GetValue(r).ToString();
+            for (const std::string& cat : plan.categories) {
+              row[f++] = (!is_null && cell == cat) ? 1.0 : 0.0;
+            }
+          }
         }
-        continue;
-      }
-      if (gower) {
-        if (col.IsNull(r)) {
-          row[f++] = kNaN;
-        } else {
-          auto it = plan.code.find(col.GetValue(r).ToString());
-          // Categories beyond the cap share one overflow code.
-          row[f++] = it != plan.code.end()
-                         ? static_cast<double>(it->second)
-                         : static_cast<double>(plan.code.size());
-        }
-        continue;
-      }
-      // Dummy coding: 1 for the matching category, else 0 (missing: all 0).
-      std::string cell =
-          col.IsNull(r) ? std::string() : col.GetValue(r).ToString();
-      for (const std::string& cat : plan.categories) {
-        row[f++] = (!col.IsNull(r) && cell == cat) ? 1.0 : 0.0;
-      }
-    }
-  }
+      },
+      options.num_threads);
   return out;
 }
 

@@ -35,6 +35,10 @@ struct PreprocessOptions {
   /// Numeric columns with at most this many distinct values are treated as
   /// categorical.
   size_t categorical_distinct_threshold = 10;
+  /// Thread budget for the per-column planning and per-row fill loops
+  /// (common/parallel.h: 0 = process default, 1 = serial). The feature
+  /// matrix is bit-identical at any value.
+  size_t num_threads = 0;
 };
 
 /// \brief Description of one feature of the preprocessed matrix.

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace blaeu::stats {
 
 double SquaredEuclideanDistance(const double* a, const double* b,
@@ -76,24 +78,33 @@ double GowerDistance::operator()(const double* a, const double* b) const {
 }
 
 DistanceMatrix DistanceMatrix::Euclidean(const Matrix& data) {
-  DistanceMatrix out(data.rows());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    for (size_t j = i + 1; j < data.rows(); ++j) {
-      out.Set(i, j,
-              EuclideanDistance(data.RowPtr(i), data.RowPtr(j), data.cols()));
+  const size_t n = data.rows();
+  DistanceMatrix out(n);
+  // Row-blocked: each (i, j) entry is written exactly once by the chunk
+  // owning row i, so the matrix is identical at any thread count.
+  ParallelFor(0, n, 16, [&](size_t row_lo, size_t row_hi) {
+    for (size_t i = row_lo; i < row_hi; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        out.Set(i, j,
+                EuclideanDistance(data.RowPtr(i), data.RowPtr(j),
+                                  data.cols()));
+      }
     }
-  }
+  });
   return out;
 }
 
 DistanceMatrix DistanceMatrix::Gower(const Matrix& data,
                                      const GowerDistance& gower) {
-  DistanceMatrix out(data.rows());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    for (size_t j = i + 1; j < data.rows(); ++j) {
-      out.Set(i, j, gower(data.RowPtr(i), data.RowPtr(j)));
+  const size_t n = data.rows();
+  DistanceMatrix out(n);
+  ParallelFor(0, n, 16, [&](size_t row_lo, size_t row_hi) {
+    for (size_t i = row_lo; i < row_hi; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        out.Set(i, j, gower(data.RowPtr(i), data.RowPtr(j)));
+      }
     }
-  }
+  });
   return out;
 }
 

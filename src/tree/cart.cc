@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace blaeu::tree {
@@ -17,6 +18,10 @@ using monet::DataType;
 using monet::Table;
 
 namespace {
+
+/// Nodes with fewer training rows than this search their split serially:
+/// the per-column work is too small to amortize a pool dispatch.
+constexpr size_t kParallelSplitMinRows = 256;
 
 double Impurity(const std::vector<size_t>& counts, size_t total,
                 SplitCriterion criterion) {
@@ -104,6 +109,7 @@ void BestNumericSplit(const TrainContext& ctx,
   }
 
   // Prefix class counts for O(1) impurity at each boundary.
+  std::vector<size_t> total_counts = CountClasses(ctx, idx);
   std::vector<size_t> left_counts(ctx.num_classes, 0);
   size_t next_boundary = 0;
   for (size_t i = 0; i < pairs.size() && next_boundary < boundaries.size();
@@ -116,7 +122,6 @@ void BestNumericSplit(const TrainContext& ctx,
       bool null_left = left_n >= right_n;
       std::vector<size_t> lc = left_counts;
       std::vector<size_t> rc(ctx.num_classes);
-      std::vector<size_t> total_counts = CountClasses(ctx, idx);
       for (size_t c = 0; c < ctx.num_classes; ++c) {
         rc[c] = total_counts[c] - lc[c] - null_counts[c];
       }
@@ -295,12 +300,40 @@ std::unique_ptr<CartNode> Grow(const TrainContext& ctx,
 
   SplitSpec best;
   best.impurity_decrease = ctx.options.min_impurity_decrease;
-  for (size_t col = 0; col < ctx.table->num_columns(); ++col) {
+  const size_t num_columns = ctx.table->num_columns();
+  auto search_column = [&](size_t col, SplitSpec* spec) {
     DataType type = ctx.table->schema().field(col).type;
     if (type == DataType::kString || type == DataType::kBool) {
-      BestCategoricalSplit(ctx, rows, idx, col, parent_impurity, &best);
+      BestCategoricalSplit(ctx, rows, idx, col, parent_impurity, spec);
     } else {
-      BestNumericSplit(ctx, rows, idx, col, parent_impurity, &best);
+      BestNumericSplit(ctx, rows, idx, col, parent_impurity, spec);
+    }
+  };
+  if (num_columns > 1 && idx.size() >= kParallelSplitMinRows &&
+      blaeu::EffectiveNumThreads(ctx.options.num_threads) > 1) {
+    // Search each column independently, then merge in ascending column
+    // order with a strict improvement test. That reproduces the serial
+    // scan exactly: the winner is the lowest column achieving the maximal
+    // decrease, and within a column the earliest such candidate.
+    std::vector<SplitSpec> specs(num_columns);
+    ParallelFor(
+        0, num_columns, 1,
+        [&](size_t col_lo, size_t col_hi) {
+          for (size_t c = col_lo; c < col_hi; ++c) {
+            specs[c].impurity_decrease = ctx.options.min_impurity_decrease;
+            search_column(c, &specs[c]);
+          }
+        },
+        ctx.options.num_threads);
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (specs[c].found &&
+          specs[c].impurity_decrease > best.impurity_decrease) {
+        best = std::move(specs[c]);
+      }
+    }
+  } else {
+    for (size_t col = 0; col < num_columns; ++col) {
+      search_column(col, &best);
     }
   }
   if (!best.found) return node;

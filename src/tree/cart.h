@@ -33,6 +33,10 @@ struct CartOptions {
   /// growing, subtrees whose per-leaf training-error reduction is below
   /// this alpha are collapsed. 0 disables pruning.
   double ccp_alpha = 0.0;
+  /// Thread budget for the per-column split search at large nodes
+  /// (common/parallel.h: 0 = process default, 1 = serial). The trained tree
+  /// is identical at any value.
+  size_t num_threads = 0;
 };
 
 /// \brief One node of a trained tree.

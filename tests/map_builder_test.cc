@@ -7,6 +7,7 @@
 
 #include "stats/metrics.h"
 #include "workloads/gaussian.h"
+#include "workloads/lofar.h"
 
 namespace blaeu::core {
 namespace {
@@ -257,6 +258,84 @@ TEST(MapBuilderTest, BuildRecordsStageSpans) {
   std::string trace = tracer.ToChromeTrace();
   EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
   EXPECT_NE(trace.find("core.map.cluster"), std::string::npos);
+}
+
+/// Field-by-field equality of two maps, with readable failure messages.
+/// Everything the user can observe must match: regions, predicates, counts,
+/// medoids and quality scores.
+void ExpectMapsIdentical(const DataMap& a, const DataMap& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.silhouette, b.silhouette);  // bit-identical, not approximate
+  EXPECT_EQ(a.tree_fidelity, b.tree_fidelity);
+  EXPECT_EQ(a.sample_size, b.sample_size);
+  EXPECT_EQ(a.total_tuples, b.total_tuples);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    const MapRegion& ra = a.regions[i];
+    const MapRegion& rb = b.regions[i];
+    EXPECT_EQ(ra.parent, rb.parent) << "region " << i;
+    EXPECT_EQ(ra.children, rb.children) << "region " << i;
+    EXPECT_EQ(ra.predicate.ToSql(), rb.predicate.ToSql()) << "region " << i;
+    EXPECT_EQ(ra.edge.ToSql(), rb.edge.ToSql()) << "region " << i;
+    EXPECT_EQ(ra.tuple_count, rb.tuple_count) << "region " << i;
+    EXPECT_EQ(ra.cluster_label, rb.cluster_label) << "region " << i;
+    EXPECT_EQ(ra.has_medoid, rb.has_medoid) << "region " << i;
+    if (ra.has_medoid && rb.has_medoid) {
+      EXPECT_EQ(ra.medoid_row, rb.medoid_row) << "region " << i;
+    }
+  }
+}
+
+TEST(MapBuilderTest, ThreadCountDoesNotChangeTheMapOnGaussian) {
+  // The parallel layer's core promise: 1 thread and 8 threads produce the
+  // same map, bit for bit. Gaussian path: PAM + exact-silhouette k sweep +
+  // distance matrix.
+  auto data = Mixture(600, 3, 21);
+  MapOptions serial;
+  serial.num_threads = 1;
+  MapOptions parallel = serial;
+  parallel.num_threads = 8;
+  auto map1 = *BuildMap(*data.table, serial);
+  auto map8 = *BuildMap(*data.table, parallel);
+  ExpectMapsIdentical(map1, map8);
+}
+
+TEST(MapBuilderTest, ThreadCountDoesNotChangeTheMapOnLofar) {
+  // LOFAR path at a scaled-down operating point: sampling, CLARA k sweep,
+  // Monte-Carlo silhouette, CART description, incremental region counting.
+  workloads::LofarSpec spec;
+  spec.rows = 8000;
+  spec.seed = 5;
+  auto data = workloads::MakeLofar(spec);
+  MapOptions serial;
+  serial.sample_size = 2000;  // above clara_threshold: CLARA + MC silhouette
+  serial.seed = 99;
+  serial.num_threads = 1;
+  MapOptions parallel = serial;
+  parallel.num_threads = 8;
+  auto sel = SelectionVector::All(data.table->num_rows());
+  auto columns = ColumnNames(*data.table);
+  auto map1 = *BuildMap(*data.table, sel, columns, serial);
+  auto map8 = *BuildMap(*data.table, sel, columns, parallel);
+  EXPECT_EQ(map1.algorithm, "clara");
+  ExpectMapsIdentical(map1, map8);
+}
+
+TEST(MapBuilderTest, ThreadCountDoesNotChangeTheMapAcrossAlgorithms) {
+  auto data = Mixture(400, 3, 22);
+  for (MapAlgorithm algo :
+       {MapAlgorithm::kPam, MapAlgorithm::kClara, MapAlgorithm::kKMeans,
+        MapAlgorithm::kAgglomerative, MapAlgorithm::kDbscan}) {
+    MapOptions serial;
+    serial.algorithm = algo;
+    serial.num_threads = 1;
+    MapOptions parallel = serial;
+    parallel.num_threads = 8;
+    auto map1 = *BuildMap(*data.table, serial);
+    auto map8 = *BuildMap(*data.table, parallel);
+    ExpectMapsIdentical(map1, map8);
+  }
 }
 
 TEST(MapBuilderTest, ValidateRegionId) {
