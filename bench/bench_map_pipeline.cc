@@ -9,9 +9,11 @@
 // google-benchmark binary: run with --benchmark_filter=... to narrow.
 //
 // After the sweeps, one traced build at the operating point emits
-//   BENCH_map_pipeline_stages.json  — per-stage latency breakdown
-//   BENCH_map_pipeline_trace.json   — chrome://tracing-loadable span dump
-//   BENCH_map_pipeline_threads.json — wall clock at 1/2/4/N threads
+//   BENCH_map_pipeline_stages.json     — per-stage latency breakdown
+//   BENCH_map_pipeline_trace.json      — chrome://tracing-loadable span dump
+//   BENCH_map_pipeline_threads.json    — wall clock at 1/2/4/N threads
+//   BENCH_map_pipeline_navigation.json — cold vs. warm zoom sequence (the
+//                                        map cache's interaction-time win)
 // so the dominant pipeline stage is known before optimizing anything and
 // the parallel layer's speedup stays measured.
 
@@ -24,6 +26,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "core/map_builder.h"
+#include "core/navigation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workloads/lofar.h"
@@ -240,6 +243,106 @@ void EmitThreadScaling() {
   std::printf("%s\nwrote BENCH_map_pipeline_threads.json\n", w.str().c_str());
 }
 
+/// Navigation latency with and without the map cache at the LOFAR 32k
+/// operating point: a session zooms down a path (cold builds), rolls back
+/// to the root and replays the same path (warm, cache hits). Writes
+/// BENCH_map_pipeline_navigation.json; the acceptance bar is warm rebuild
+/// >= 2x faster than cold.
+void EmitNavigationBench() {
+  constexpr size_t kRows = 32000;
+  constexpr int kDepth = 3;
+  const auto& data = LofarCached(kRows);
+
+  core::SessionOptions opt;
+  opt.map.sample_size = 2000;
+  opt.map.fixed_k = 4;
+  opt.seed = 7;
+
+  auto run_path = [&](bool cached, double* descend_ms, double* replay_ms,
+                      core::SessionStats* stats_out) -> bool {
+    core::SessionOptions session_opt = opt;
+    session_opt.cache_enabled = cached;
+    auto session = core::Session::Start(data.table, "lofar", session_opt);
+    if (!session.ok()) {
+      std::fprintf(stderr, "navigation bench start failed: %s\n",
+                   session.status().ToString().c_str());
+      return false;
+    }
+    core::Session s = std::move(session).ValueOrDie();
+    // Descend: always into the biggest leaf, so both runs take the same
+    // deterministic path with real work at every level.
+    std::vector<int> path;
+    Timer descend;
+    for (int depth = 0; depth < kDepth; ++depth) {
+      int biggest = -1;
+      size_t biggest_count = 0;
+      for (int leaf : s.current().map.LeafIds()) {
+        const auto& r = s.current().map.region(leaf);
+        if (r.parent >= 0 && r.tuple_count >= 50 &&
+            r.tuple_count > biggest_count) {
+          biggest = leaf;
+          biggest_count = r.tuple_count;
+        }
+      }
+      if (biggest < 0) break;
+      if (!s.Zoom(biggest).ok()) break;
+      path.push_back(biggest);
+    }
+    *descend_ms = descend.ElapsedMillis();
+    if (path.empty()) {
+      std::fprintf(stderr, "navigation bench found no zoomable region\n");
+      return false;
+    }
+    // Replay: back to the root, then the identical zoom sequence. With the
+    // cache every map on the path is a hit; without it every map is rebuilt.
+    if (!s.RollbackTo(0).ok()) return false;
+    Timer replay;
+    for (int region : path) {
+      if (!s.Zoom(region).ok()) {
+        std::fprintf(stderr, "navigation bench replay diverged\n");
+        return false;
+      }
+    }
+    *replay_ms = replay.ElapsedMillis();
+    *stats_out = s.stats();
+    return true;
+  };
+
+  double cold_descend = 0, cold_replay = 0;
+  double warm_descend = 0, warm_replay = 0;
+  core::SessionStats cold_stats, warm_stats;
+  if (!run_path(false, &cold_descend, &cold_replay, &cold_stats)) return;
+  if (!run_path(true, &warm_descend, &warm_replay, &warm_stats)) return;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "map_pipeline_navigation");
+  w.KV("rows", kRows);
+  w.KV("sample_size", opt.map.sample_size);
+  w.KV("zoom_depth", kDepth);
+  w.Key("cold").BeginObject();
+  w.KV("descend_ms", cold_descend);
+  w.KV("replay_ms", cold_replay);
+  w.KV("maps_built", cold_stats.maps_built);
+  w.KV("cache_hits", cold_stats.cache_hits);
+  w.EndObject();
+  w.Key("warm").BeginObject();
+  w.KV("descend_ms", warm_descend);
+  w.KV("replay_ms", warm_replay);
+  w.KV("maps_built", warm_stats.maps_built);
+  w.KV("cache_hits", warm_stats.cache_hits);
+  w.EndObject();
+  const double speedup = warm_replay > 0.0 ? cold_replay / warm_replay : 0.0;
+  w.KV("warm_replay_speedup", speedup);
+  w.KV("meets_2x_bar", speedup >= 2.0);
+  w.EndObject();
+
+  std::ofstream out("BENCH_map_pipeline_navigation.json");
+  out << w.str() << "\n";
+  std::printf("%s\nwrote BENCH_map_pipeline_navigation.json\n",
+              w.str().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,5 +352,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   EmitStageBreakdown();
   EmitThreadScaling();
+  EmitNavigationBench();
   return 0;
 }

@@ -5,21 +5,42 @@
 
 namespace blaeu::core {
 
+Explorer::Explorer(SessionOptions options) : options_(std::move(options)) {
+  if (options_.cache_enabled && options_.cache == nullptr) {
+    options_.cache = std::make_shared<MapCache>(
+        MapCache::BudgetFromEnv(options_.cache_budget_bytes));
+  }
+}
+
+void Explorer::InstallTable(const std::string& name, monet::TablePtr table) {
+  const bool replacing = catalog_.Contains(name);
+  catalog_.RegisterOrReplace(name, std::move(table));
+  table_versions_[name]++;
+  if (replacing && options_.cache != nullptr) {
+    options_.cache->EvictTable(name);
+  }
+}
+
 Status Explorer::LoadCsv(const std::string& path, const std::string& name,
                          const monet::CsvOptions& csv_options) {
   BLAEU_ASSIGN_OR_RETURN(monet::TablePtr table,
                          monet::ReadCsvFile(path, csv_options));
-  return catalog_.Register(name, std::move(table));
+  InstallTable(name, std::move(table));
+  return Status::OK();
 }
 
 Status Explorer::LoadTable(monet::TablePtr table, const std::string& name) {
-  return catalog_.Register(name, std::move(table));
+  if (table == nullptr) return Status::Invalid("cannot load a null table");
+  InstallTable(name, std::move(table));
+  return Status::OK();
 }
 
 Result<Session*> Explorer::OpenSession(const std::string& name) {
   BLAEU_ASSIGN_OR_RETURN(monet::TablePtr table, catalog_.Get(name));
+  SessionOptions session_options = options_;
+  session_options.table_version = table_versions_[name];
   BLAEU_ASSIGN_OR_RETURN(Session session,
-                         Session::Start(table, name, options_));
+                         Session::Start(table, name, session_options));
   auto owned = std::make_unique<Session>(std::move(session));
   Session* raw = owned.get();
   sessions_[name] = std::move(owned);
@@ -69,9 +90,15 @@ std::string Explorer::StatsReport() const {
     w.KV("last_build_seconds", s.last_build_seconds);
     w.KV("actions", s.actions);
     w.KV("rollbacks", s.rollbacks);
+    w.KV("cache_hits", s.cache_hits);
+    w.KV("cache_misses", s.cache_misses);
+    w.KV("plan_reuses", s.plan_reuses);
     w.EndObject();
   }
   w.EndArray();
+  if (options_.cache != nullptr) {
+    w.Key("cache").RawValue(options_.cache->StatsJson());
+  }
   // The process-wide registry: counters/histograms from every layer.
   w.Key("metrics").RawValue(obs::MetricsRegistry::Global().ToJson());
   w.EndObject();

@@ -24,13 +24,19 @@ namespace blaeu::core {
 ///   session->SelectTheme(0);  // etc.
 class Explorer {
  public:
-  explicit Explorer(SessionOptions options = {}) : options_(options) {}
+  /// When `options.cache_enabled` and no cache instance is supplied, the
+  /// Explorer creates one MapCache shared by all its sessions (so a
+  /// rollback in one session can hit maps another session built).
+  explicit Explorer(SessionOptions options = {});
 
-  /// Imports a CSV file into the catalog under `name`.
+  /// Imports a CSV file into the catalog under `name`. Re-loading an
+  /// existing name replaces the table, bumps its version and invalidates
+  /// every cached map built on it.
   Status LoadCsv(const std::string& path, const std::string& name,
                  const monet::CsvOptions& csv_options = {});
 
-  /// Registers an existing table under `name`.
+  /// Registers an existing table under `name` (same replace-and-invalidate
+  /// semantics as LoadCsv).
   Status LoadTable(monet::TablePtr table, const std::string& name);
 
   /// Tables available for exploration.
@@ -55,10 +61,20 @@ class Explorer {
   /// expose on a /stats endpoint.
   std::string StatsReport() const;
 
+  /// The cache shared by this explorer's sessions (null when disabled).
+  const MapCachePtr& cache() const { return options_.cache; }
+
  private:
+  /// Replaces `name` in the catalog, bumps its version and drops its cache
+  /// entries — the single invalidation point for both Load paths.
+  void InstallTable(const std::string& name, monet::TablePtr table);
+
   SessionOptions options_;
   monet::Catalog catalog_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
+  /// Monotonic per-name versions; a (re-)load bumps the version so stale
+  /// cache keys can never match again.
+  std::map<std::string, uint64_t> table_versions_;
 };
 
 }  // namespace blaeu::core

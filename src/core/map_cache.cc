@@ -1,0 +1,338 @@
+#include "core/map_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/json_writer.h"
+#include "core/map_builder.h"
+#include "core/preprocess.h"
+
+namespace blaeu::core {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = HashMix(h, s.size());
+  for (char c : s) h = HashMix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+uint64_t FingerprintStrings(const std::vector<std::string>& strings) {
+  uint64_t h = kFnvOffset;
+  h = HashMix(h, strings.size());
+  for (const std::string& s : strings) h = MixString(h, s);
+  return h;
+}
+
+uint64_t FingerprintTable(const monet::Table& table) {
+  uint64_t h = kFnvOffset;
+  h = HashMix(h, table.num_rows());
+  h = HashMix(h, table.num_columns());
+  for (const auto& field : table.schema().fields()) {
+    h = MixString(h, field.name);
+    h = HashMix(h, static_cast<uint64_t>(field.type));
+  }
+  return h;
+}
+
+uint64_t FingerprintMapOptions(const MapOptions& o) {
+  uint64_t h = kFnvOffset;
+  h = HashMix(h, o.sample_size);
+  h = HashMix(h, static_cast<uint64_t>(o.algorithm));
+  h = HashMix(h, o.clara_threshold);
+  h = HashMix(h, o.k_min);
+  h = HashMix(h, o.k_max);
+  h = HashMix(h, o.fixed_k);
+  h = HashMix(h, o.monte_carlo_threshold);
+  h = HashMix(h, o.mc_subsamples);
+  h = HashMix(h, o.mc_subsample_size);
+  h = HashMix(h, static_cast<uint64_t>(o.preprocess.encoding));
+  h = HashMix(h, o.preprocess.remove_primary_keys ? 1 : 2);
+  h = HashMix(h, o.preprocess.zscore ? 1 : 2);
+  h = HashMix(h, o.preprocess.max_categories);
+  h = HashMix(h, o.preprocess.categorical_distinct_threshold);
+  h = HashMix(h, o.tree.max_depth);
+  h = HashMix(h, o.tree.min_samples_leaf);
+  h = HashMix(h, o.tree.min_samples_split);
+  h = HashMix(h, o.tree.max_thresholds);
+  h = HashMix(h, DoubleBits(o.tree.min_impurity_decrease));
+  h = HashMix(h, static_cast<uint64_t>(o.tree.criterion));
+  h = HashMix(h, DoubleBits(o.tree.ccp_alpha));
+  return h;
+}
+
+uint64_t MapCacheKey::Hash() const {
+  uint64_t h = kFnvOffset;
+  h = MixString(h, table_name);
+  h = HashMix(h, table_version);
+  h = HashMix(h, table_fp);
+  h = HashMix(h, selection_fp);
+  h = HashMix(h, columns_fp);
+  h = HashMix(h, options_fp);
+  h = HashMix(h, seed);
+  return h;
+}
+
+size_t EstimateMapBytes(const DataMap& map) {
+  auto conjunction_bytes = [](const monet::Conjunction& c) {
+    size_t bytes = sizeof(monet::Conjunction);
+    for (const monet::Condition& cond : c.conditions()) {
+      bytes += sizeof(monet::Condition) + cond.column.capacity() + 32;
+      for (const std::string& s : cond.set) bytes += s.capacity() + 1;
+    }
+    return bytes;
+  };
+  size_t bytes = sizeof(DataMap) + map.algorithm.capacity();
+  for (const std::string& c : map.active_columns) bytes += c.capacity() + 1;
+  for (const MapRegion& r : map.regions) {
+    bytes += sizeof(MapRegion) + r.children.size() * sizeof(int);
+    bytes += conjunction_bytes(r.edge) + conjunction_bytes(r.predicate);
+  }
+  return bytes;
+}
+
+MapCache::MapCache(size_t budget_bytes, obs::MetricsRegistry* metrics,
+                   obs::Tracer* tracer)
+    : budget_bytes_(budget_bytes),
+      metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()),
+      tracer_(tracer != nullptr ? tracer : &obs::Tracer::Global()) {
+  counters_.budget_bytes = budget_bytes_;
+}
+
+size_t MapCache::BudgetFromEnv(size_t configured) {
+  const char* env = std::getenv("BLAEU_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env) return configured;
+  return static_cast<size_t>(parsed);
+}
+
+uint64_t MapCache::NextSessionId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const DataMap> MapCache::Lookup(const MapCacheKey& key,
+                                                uint64_t session_id) {
+  obs::Span span(tracer_, "core.cache.lookup");
+  std::shared_ptr<const DataMap> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key.Hash());
+    if (it != index_.end() && it->second->key == key) {
+      // Refresh recency and ownership: the most recent user keeps the entry
+      // alive across other sessions closing.
+      entries_.splice(entries_.begin(), entries_, it->second);
+      it->second->session_id = session_id;
+      found = it->second->map;
+      counters_.hits++;
+    } else {
+      counters_.misses++;
+    }
+  }
+  span.SetAttr("hit", found != nullptr ? 1 : 0);
+  metrics_->counter(found != nullptr ? "core.cache.hits"
+                                     : "core.cache.misses")
+      ->Increment();
+  return found;
+}
+
+void MapCache::Insert(const MapCacheKey& key, uint64_t session_id,
+                      std::shared_ptr<const DataMap> map,
+                      std::shared_ptr<const PreprocessPlan> plan) {
+  if (map == nullptr || budget_bytes_ == 0) return;
+  Entry entry;
+  entry.key = key;
+  entry.session_id = session_id;
+  entry.bytes = EstimateMapBytes(*map) +
+                (plan != nullptr ? plan->ApproxBytes() : 0) + sizeof(Entry);
+  entry.map = std::move(map);
+  entry.plan = std::move(plan);
+  if (entry.bytes > budget_bytes_) return;  // would evict everything else
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t hash = key.Hash();
+    auto it = index_.find(hash);
+    // An existing entry under this hash (same key, or an astronomically
+    // unlikely collision) is replaced rather than duplicated.
+    if (it != index_.end()) RemoveLocked(it->second, /*invalidation=*/false);
+    bytes_ += entry.bytes;
+    entries_.push_front(std::move(entry));
+    index_[hash] = entries_.begin();
+    counters_.inserts++;
+    EnforceBudgetLocked();
+    PublishGaugesLocked();
+  }
+  metrics_->counter("core.cache.inserts")->Increment();
+}
+
+std::shared_ptr<const PreprocessPlan> MapCache::LookupPlan(
+    const MapCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.Hash());
+  if (it == index_.end() || !(it->second->key == key)) return nullptr;
+  return it->second->plan;
+}
+
+std::shared_ptr<const std::vector<size_t>> MapCache::LookupPrimaryKeys(
+    const std::string& table_name, uint64_t table_version, uint64_t table_fp,
+    uint64_t columns_fp) {
+  std::shared_ptr<const std::vector<size_t>> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PkEntry& e : pk_entries_) {
+      if (e.table_version == table_version && e.table_fp == table_fp &&
+          e.columns_fp == columns_fp && e.table_name == table_name) {
+        found = e.keys;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      counters_.pk_hits++;
+    } else {
+      counters_.pk_misses++;
+    }
+  }
+  metrics_->counter(found != nullptr ? "core.cache.pk_hits"
+                                     : "core.cache.pk_misses")
+      ->Increment();
+  return found;
+}
+
+void MapCache::InsertPrimaryKeys(
+    const std::string& table_name, uint64_t table_version, uint64_t table_fp,
+    uint64_t columns_fp, std::shared_ptr<const std::vector<size_t>> keys) {
+  if (keys == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PkEntry& e : pk_entries_) {
+    if (e.table_version == table_version && e.table_fp == table_fp &&
+        e.columns_fp == columns_fp && e.table_name == table_name) {
+      e.keys = std::move(keys);
+      return;
+    }
+  }
+  pk_entries_.push_back(
+      {table_name, table_version, table_fp, columns_fp, std::move(keys)});
+}
+
+void MapCache::EvictSession(uint64_t session_id) {
+  int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto next = std::next(it);
+      if (it->session_id == session_id) {
+        RemoveLocked(it, /*invalidation=*/true);
+        dropped++;
+      }
+      it = next;
+    }
+    PublishGaugesLocked();
+  }
+  if (dropped > 0) {
+    metrics_->counter("core.cache.invalidations")->Add(dropped);
+  }
+}
+
+void MapCache::EvictTable(const std::string& table_name) {
+  obs::Span span(tracer_, "core.cache.invalidate");
+  span.SetAttr("table", table_name);
+  int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      auto next = std::next(it);
+      if (it->key.table_name == table_name) {
+        RemoveLocked(it, /*invalidation=*/true);
+        dropped++;
+      }
+      it = next;
+    }
+    for (auto it = pk_entries_.begin(); it != pk_entries_.end();) {
+      if (it->table_name == table_name) {
+        it = pk_entries_.erase(it);
+        counters_.invalidations++;
+        dropped++;
+      } else {
+        ++it;
+      }
+    }
+    PublishGaugesLocked();
+  }
+  span.SetAttr("entries_dropped", dropped);
+  if (dropped > 0) {
+    metrics_->counter("core.cache.invalidations")->Add(dropped);
+  }
+}
+
+void MapCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+  pk_entries_.clear();
+  bytes_ = 0;
+  PublishGaugesLocked();
+}
+
+void MapCache::EnforceBudgetLocked() {
+  while (bytes_ > budget_bytes_ && !entries_.empty()) {
+    RemoveLocked(std::prev(entries_.end()), /*invalidation=*/false);
+    counters_.evictions++;
+    metrics_->counter("core.cache.evictions")->Increment();
+  }
+}
+
+void MapCache::RemoveLocked(std::list<Entry>::iterator it, bool invalidation) {
+  if (invalidation) counters_.invalidations++;
+  bytes_ -= it->bytes;
+  index_.erase(it->key.Hash());
+  entries_.erase(it);
+}
+
+void MapCache::PublishGaugesLocked() {
+  metrics_->gauge("core.cache.bytes")->Set(static_cast<double>(bytes_));
+  metrics_->gauge("core.cache.entries")
+      ->Set(static_cast<double>(entries_.size()));
+}
+
+MapCacheStats MapCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MapCacheStats out = counters_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  out.budget_bytes = budget_bytes_;
+  out.pk_entries = pk_entries_.size();
+  return out;
+}
+
+std::string MapCache::StatsJson() const {
+  MapCacheStats s = stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("hits", s.hits)
+      .KV("misses", s.misses)
+      .KV("inserts", s.inserts)
+      .KV("evictions", s.evictions)
+      .KV("invalidations", s.invalidations)
+      .KV("pk_hits", s.pk_hits)
+      .KV("pk_misses", s.pk_misses)
+      .KV("entries", s.entries)
+      .KV("bytes", s.bytes)
+      .KV("budget_bytes", s.budget_bytes)
+      .KV("pk_entries", s.pk_entries);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace blaeu::core

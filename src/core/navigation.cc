@@ -1,6 +1,7 @@
 #include "core/navigation.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/json_writer.h"
 #include "common/timer.h"
@@ -15,6 +16,20 @@ using monet::TablePtr;
 namespace {
 
 Rng MakeSamplerRng(uint64_t seed) { return Rng(seed ^ 0xb1aeb1aeULL); }
+
+/// Fingerprint of every session option that can change a built map (the
+/// map options plus the multi-scale sampler parameters and session seed).
+uint64_t FingerprintSessionOptions(const SessionOptions& options) {
+  uint64_t h = HashMix(kFnvOffset, FingerprintMapOptions(options.map));
+  h = HashMix(h, options.multiscale_base);
+  uint64_t growth_bits = 0;
+  static_assert(sizeof(growth_bits) == sizeof(options.multiscale_growth),
+                "double must be 64-bit");
+  std::memcpy(&growth_bits, &options.multiscale_growth, sizeof(growth_bits));
+  h = HashMix(h, growth_bits);
+  h = HashMix(h, options.seed);
+  return h;
+}
 
 }  // namespace
 
@@ -32,7 +47,21 @@ Session::Session(TablePtr table, std::string table_name,
                 std::min(options_.multiscale_base,
                          std::max<size_t>(1, table_->num_rows())),
                 options_.multiscale_growth, &rng);
-          }()) {}
+          }()),
+      session_id_(MapCache::NextSessionId()),
+      table_fp_(FingerprintTable(*table_)),
+      options_fp_(FingerprintSessionOptions(options_)) {
+  if (options_.cache_enabled) {
+    cache_ = options_.cache != nullptr
+                 ? options_.cache
+                 : std::make_shared<MapCache>(
+                       MapCache::BudgetFromEnv(options_.cache_budget_bytes));
+  }
+}
+
+void Session::ReleaseCacheEntries() {
+  if (cache_ != nullptr) cache_->EvictSession(session_id_);
+}
 
 Result<Session> Session::Start(TablePtr table, std::string table_name,
                                const SessionOptions& options) {
@@ -49,12 +78,71 @@ Result<Session> Session::Start(TablePtr table, std::string table_name,
 }
 
 Result<DataMap> Session::MakeMap(const SelectionVector& sel,
-                                 const std::vector<std::string>& columns) {
+                                 const std::vector<std::string>& columns,
+                                 MapCacheKey* out_key) {
   Timer build_timer;
   MapOptions map_options = options_.map;
-  // Distinct deterministic seed per map so repeated zooms do not reuse the
-  // exact same sample.
-  map_options.seed = options_.seed + 1000003 * (++map_seed_counter_);
+  const uint64_t sel_fp = sel.Fingerprint();
+  const uint64_t cols_fp = FingerprintStrings(columns);
+  // The map seed is a deterministic function of the navigation state
+  // (session seed, selection, columns): distinct states draw distinct
+  // samples, while rebuilding the SAME state cold reproduces the same
+  // sample and map — the property that makes cache hits bit-identical.
+  map_options.seed =
+      HashMix(HashMix(HashMix(kFnvOffset, options_.seed), sel_fp), cols_fp);
+  MapCacheKey key;
+  key.table_name = table_name_;
+  key.table_version = options_.table_version;
+  key.table_fp = table_fp_;
+  key.selection_fp = sel_fp;
+  key.columns_fp = cols_fp;
+  key.options_fp = options_fp_;
+  key.seed = map_options.seed;
+  if (out_key != nullptr) *out_key = key;
+
+  auto finish = [&](size_t* build_counter) {
+    (*build_counter)++;
+    stats_.actions++;
+    stats_.last_build_seconds = build_timer.ElapsedSeconds();
+    stats_.map_build_seconds += stats_.last_build_seconds;
+  };
+
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const DataMap> hit = cache_->Lookup(key, session_id_)) {
+      finish(&stats_.cache_hits);
+      return *hit;
+    }
+    stats_.cache_misses++;
+  }
+
+  // Tier-2 reuse (bit-identical): primary-key detection depends only on
+  // (table, columns), so any prior build of this theme already knows it.
+  std::shared_ptr<const std::vector<size_t>> known_keys;
+  if (cache_ != nullptr && map_options.preprocess.remove_primary_keys) {
+    known_keys = cache_->LookupPrimaryKeys(
+        table_name_, options_.table_version, table_fp_, cols_fp);
+    if (known_keys != nullptr) {
+      map_options.preprocess.known_primary_keys = known_keys.get();
+    }
+  }
+  // Tier-3 reuse (re-normalized, opt-in): fill the child's features with
+  // the parent state's plan instead of re-planning on the child sample.
+  if (options_.reuse_parent_plans && cache_ != nullptr && !history_.empty() &&
+      FingerprintStrings(history_.back().columns) == cols_fp) {
+    std::shared_ptr<const PreprocessPlan> parent_plan =
+        cache_->LookupPlan(history_.back().cache_key);
+    if (parent_plan != nullptr) {
+      map_options.preprocess.reuse_plan = std::move(parent_plan);
+      stats_.plan_reuses++;
+      obs::MetricsRegistry* metrics = map_options.metrics != nullptr
+                                          ? map_options.metrics
+                                          : &obs::MetricsRegistry::Global();
+      metrics->counter("core.cache.plan_reuses")->Increment();
+    }
+  }
+  std::shared_ptr<const PreprocessPlan> used_plan;
+  map_options.preprocess.plan_out = &used_plan;
+
   // Multi-scale sampling: pre-shrink very large selections through the
   // shared permutation, then let BuildMap take its per-map sample.
   SelectionVector working = sel;
@@ -79,10 +167,18 @@ Result<DataMap> Session::MakeMap(const SelectionVector& sel,
     }
     map.total_tuples = sel.size();
   }
-  stats_.maps_built++;
-  stats_.actions++;
-  stats_.last_build_seconds = build_timer.ElapsedSeconds();
-  stats_.map_build_seconds += stats_.last_build_seconds;
+
+  if (cache_ != nullptr) {
+    if (known_keys == nullptr && used_plan != nullptr &&
+        map_options.preprocess.remove_primary_keys) {
+      cache_->InsertPrimaryKeys(
+          table_name_, options_.table_version, table_fp_, cols_fp,
+          std::make_shared<const std::vector<size_t>>(used_plan->dropped_keys));
+    }
+    cache_->Insert(key, session_id_, std::make_shared<const DataMap>(map),
+                   std::move(used_plan));
+  }
+  finish(&stats_.maps_built);
   return map;
 }
 
@@ -98,13 +194,15 @@ Status Session::SelectTheme(size_t theme_idx) {
                             : history_.back().selection;
   monet::Conjunction where =
       history_.empty() ? monet::Conjunction() : history_.back().where;
-  BLAEU_ASSIGN_OR_RETURN(DataMap map, MakeMap(sel, theme.names));
+  MapCacheKey key;
+  BLAEU_ASSIGN_OR_RETURN(DataMap map, MakeMap(sel, theme.names, &key));
   NavState state;
   state.selection = std::move(sel);
   state.theme_id = static_cast<int>(theme_idx);
   state.columns = theme.names;
   state.where = std::move(where);
   state.map = std::move(map);
+  state.cache_key = std::move(key);
   state.action = "select_theme(" + std::to_string(theme_idx) + ")";
   history_.push_back(std::move(state));
   return Status::OK();
@@ -125,13 +223,15 @@ Status Session::Zoom(int region_id) {
     return Status::Invalid("region " + std::to_string(region_id) +
                            " covers no tuples");
   }
-  BLAEU_ASSIGN_OR_RETURN(DataMap map, MakeMap(sub, cur.columns));
+  MapCacheKey key;
+  BLAEU_ASSIGN_OR_RETURN(DataMap map, MakeMap(sub, cur.columns, &key));
   NavState state;
   state.selection = std::move(sub);
   state.theme_id = cur.theme_id;
   state.columns = cur.columns;
   state.where = cur.where.And(region.predicate);
   state.map = std::move(map);
+  state.cache_key = std::move(key);
   state.action = "zoom(" + std::to_string(region_id) + ")";
   history_.push_back(std::move(state));
   return Status::OK();
@@ -145,13 +245,16 @@ Status Session::Project(size_t theme_idx) {
   }
   const NavState& cur = current();
   const Theme& theme = themes_.theme(theme_idx);
-  BLAEU_ASSIGN_OR_RETURN(DataMap map, MakeMap(cur.selection, theme.names));
+  MapCacheKey key;
+  BLAEU_ASSIGN_OR_RETURN(DataMap map,
+                         MakeMap(cur.selection, theme.names, &key));
   NavState state;
   state.selection = cur.selection;
   state.theme_id = static_cast<int>(theme_idx);
   state.columns = theme.names;
   state.where = cur.where;
   state.map = std::move(map);
+  state.cache_key = std::move(key);
   state.action = "project(" + std::to_string(theme_idx) + ")";
   history_.push_back(std::move(state));
   return Status::OK();

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/map.h"
 #include "core/map_builder.h"
+#include "core/map_cache.h"
 #include "core/theme.h"
 #include "monet/column_stats.h"
 #include "monet/query.h"
@@ -27,6 +29,28 @@ struct SessionOptions {
   size_t multiscale_base = 2000;
   double multiscale_growth = 4.0;
   uint64_t seed = 42;
+
+  /// Navigation-aware map cache (core/map_cache.h). When enabled, every map
+  /// the session builds is memoized, so rollback + re-visit of a navigation
+  /// state is O(1) and bit-identical to a cache-disabled session.
+  bool cache_enabled = true;
+  /// LRU byte budget of the cache a session (or Explorer) creates when
+  /// `cache` is null. The BLAEU_CACHE_BYTES env var overrides it.
+  size_t cache_budget_bytes = MapCache::kDefaultBudgetBytes;
+  /// Shared cache instance: the Explorer sets this so all its sessions
+  /// share one budget; null makes each session create its own private one
+  /// (when enabled). Callers sharing a cache across sessions must keep
+  /// (table_name, table_version) unique per distinct table.
+  MapCachePtr cache;
+  /// Version of the table this session explores, bumped by the Explorer on
+  /// every (re-)load; part of every cache key.
+  uint64_t table_version = 0;
+  /// Opt-in re-normalized reuse (tier 3 in core/map_cache.h): on a cache
+  /// miss after Zoom, fill the child's features with the parent state's
+  /// preprocessing plan instead of re-planning. Faster, but the child map
+  /// is normalized by the parent's statistics and therefore NOT
+  /// bit-identical to a cold build — off by default.
+  bool reuse_parent_plans = false;
 };
 
 /// \brief One navigation state: a selection, an active theme, and its map.
@@ -36,6 +60,9 @@ struct NavState {
   std::vector<std::string> columns;   ///< active columns
   monet::Conjunction where;           ///< accumulated predicate from the root
   DataMap map;
+  /// Cache identity of this state's map (cache bookkeeping; also the key
+  /// whose entry carries the state's preprocessing plan for reuse).
+  MapCacheKey cache_key;
   std::string action;                 ///< what produced this state
   /// User notes attached to regions of this state's map ("the maps ...
   /// provide facilities to inspect their content and annotate them", §1).
@@ -90,6 +117,9 @@ struct SessionStats {
   double last_build_seconds = 0.0;
   size_t actions = 0;             ///< states pushed (zoom/select/project)
   size_t rollbacks = 0;
+  size_t cache_hits = 0;          ///< maps served from the cache
+  size_t cache_misses = 0;        ///< maps actually built (cache enabled)
+  size_t plan_reuses = 0;         ///< builds that reused a parent's plan
 };
 
 /// \brief An interactive exploration session over one table.
@@ -164,6 +194,16 @@ class Session {
   /// Usage/latency counters accumulated since the session started.
   const SessionStats& stats() const { return stats_; }
 
+  /// The session's map cache (null when caching is disabled).
+  const MapCachePtr& cache() const { return cache_; }
+  /// Process-unique id tagging this session's cache entries.
+  uint64_t session_id() const { return session_id_; }
+
+  /// Drops this session's entries from the cache. Called automatically on
+  /// destruction (and therefore by Explorer::CloseSession), so open/close
+  /// cycles cannot grow a shared cache.
+  void ReleaseCacheEntries();
+
   /// The implicit Select-Project query of the current state.
   monet::SelectProjectQuery CurrentQuery() const;
 
@@ -174,13 +214,22 @@ class Session {
   /// Materializes up to `max_rows` tuples of a region for inspection.
   Result<monet::TablePtr> Inspect(int region_id, size_t max_rows = 10) const;
 
+  /// Moves transfer cache ownership (the moved-from session releases
+  /// nothing on destruction). Move-assignment over a live session abandons
+  /// the target's entries to the LRU rather than evicting them.
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+  ~Session() { ReleaseCacheEntries(); }
+
  private:
   Session(monet::TablePtr table, std::string table_name,
           SessionOptions options, ThemeSet themes);
 
-  /// Builds a map for `sel` on `columns` using the session sampler.
+  /// Builds (or fetches from the cache) a map for `sel` on `columns` using
+  /// the session sampler. `out_key` receives the map's cache identity.
   Result<DataMap> MakeMap(const monet::SelectionVector& sel,
-                          const std::vector<std::string>& columns);
+                          const std::vector<std::string>& columns,
+                          MapCacheKey* out_key);
 
   monet::TablePtr table_;
   std::string table_name_;
@@ -188,7 +237,10 @@ class Session {
   ThemeSet themes_;
   monet::MultiScaleSampler sampler_;
   std::vector<NavState> history_;
-  uint64_t map_seed_counter_ = 0;
+  MapCachePtr cache_;
+  uint64_t session_id_ = 0;
+  uint64_t table_fp_ = 0;   ///< schema-shape fingerprint (cache key guard)
+  uint64_t options_fp_ = 0; ///< fingerprint of the output-affecting options
   SessionStats stats_;
 };
 

@@ -25,6 +25,24 @@ std::vector<bool> PreprocessedData::categorical_mask() const {
   return mask;
 }
 
+size_t PreprocessPlan::ApproxBytes() const {
+  size_t bytes = sizeof(PreprocessPlan);
+  for (const ColumnPlan& plan : columns) {
+    bytes += sizeof(ColumnPlan);
+    for (const std::string& c : plan.categories) bytes += c.capacity() + 1;
+    for (const auto& [key, value] : plan.code) {
+      (void)value;
+      bytes += key.capacity() + sizeof(int) + 32;  // node overhead estimate
+    }
+  }
+  for (const FeatureInfo& f : feature_info) {
+    bytes += sizeof(FeatureInfo) + f.source_name.capacity() +
+             f.category.capacity();
+  }
+  bytes += (used_columns.size() + dropped_keys.size()) * sizeof(size_t);
+  return bytes;
+}
+
 namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
@@ -52,31 +70,27 @@ std::vector<std::string> TopCategories(const Column& col,
 
 }  // namespace
 
-Result<PreprocessedData> Preprocess(const Table& table,
-                                    const SelectionVector& sel,
-                                    const PreprocessOptions& options) {
+Result<PreprocessPlan> PlanPreprocess(const Table& table,
+                                      const SelectionVector& sel,
+                                      const PreprocessOptions& options) {
   if (sel.empty()) return Status::Invalid("empty selection");
-  PreprocessedData out;
-  out.rows = sel.rows();
+  PreprocessPlan out;
+  out.encoding = options.encoding;
 
   std::vector<size_t> keys;
   if (options.remove_primary_keys) {
-    keys = monet::DetectPrimaryKeyColumns(table);
+    // Key detection scans the whole table (not the selection), so a caller
+    // that already knows the answer for this (table, columns) pair can pass
+    // it back in without changing the output.
+    keys = options.known_primary_keys != nullptr
+               ? *options.known_primary_keys
+               : monet::DetectPrimaryKeyColumns(table);
   }
   out.dropped_keys = keys;
   auto is_key = [&](size_t c) {
     return std::find(keys.begin(), keys.end(), c) != keys.end();
   };
 
-  // Plan the feature layout column by column.
-  struct ColumnPlan {
-    size_t column;
-    bool categorical;
-    std::vector<std::string> categories;  // dummy layout (kDummy only)
-    stats::Normalizer normalizer = stats::Normalizer::ZScore({});
-    std::unordered_map<std::string, int> code;  // kGower category codes
-    double impute = 0.0;                        // numeric NaN replacement
-  };
   // Each column's plan (stats, category ranking, normalizer fit) is a full
   // pass over the selection and independent of the others, so columns are
   // planned in parallel and collected in schema order afterwards.
@@ -121,18 +135,17 @@ Result<PreprocessedData> Preprocess(const Table& table,
         }
       },
       options.num_threads);
-  std::vector<ColumnPlan> plans;
   for (size_t c = 0; c < num_columns; ++c) {
     if (!column_plans[c].has_value()) continue;
     out.used_columns.push_back(c);
-    plans.push_back(std::move(*column_plans[c]));
+    out.columns.push_back(std::move(*column_plans[c]));
   }
-  if (plans.empty()) {
+  if (out.columns.empty()) {
     return Status::Invalid("no usable columns after preprocessing");
   }
 
   // Feature layout.
-  for (const ColumnPlan& plan : plans) {
+  for (const ColumnPlan& plan : out.columns) {
     const std::string& name = table.schema().field(plan.column).name;
     if (!plan.categorical) {
       out.feature_info.push_back({plan.column, name, false, ""});
@@ -144,11 +157,29 @@ Result<PreprocessedData> Preprocess(const Table& table,
       out.feature_info.push_back({plan.column, name, true, ""});
     }
   }
+  return out;
+}
+
+Result<PreprocessedData> FillFeatures(const Table& table,
+                                      const SelectionVector& sel,
+                                      const PreprocessPlan& plan,
+                                      size_t num_threads) {
+  if (sel.empty()) return Status::Invalid("empty selection");
+  for (const ColumnPlan& cp : plan.columns) {
+    if (cp.column >= table.num_columns()) {
+      return Status::Invalid("preprocess plan does not match the table");
+    }
+  }
+  PreprocessedData out;
+  out.rows = sel.rows();
+  out.feature_info = plan.feature_info;
+  out.used_columns = plan.used_columns;
+  out.dropped_keys = plan.dropped_keys;
 
   const size_t n = sel.size();
-  const size_t dims = out.feature_info.size();
+  const size_t dims = plan.feature_info.size();
   out.features = stats::Matrix(n, dims);
-  const bool gower = options.encoding == CategoricalEncoding::kGower;
+  const bool gower = plan.encoding == CategoricalEncoding::kGower;
 
   // Fill one matrix row per selected tuple. Rows are disjoint, so the loop
   // parallelizes with bit-identical output at any thread count.
@@ -159,13 +190,13 @@ Result<PreprocessedData> Preprocess(const Table& table,
           uint32_t r = sel[i];
           double* row = out.features.MutableRowPtr(i);
           size_t f = 0;
-          for (const ColumnPlan& plan : plans) {
-            const Column& col = *table.column(plan.column);
-            if (!plan.categorical) {
+          for (const ColumnPlan& cp : plan.columns) {
+            const Column& col = *table.column(cp.column);
+            if (!cp.categorical) {
               if (col.IsNull(r)) {
-                row[f++] = gower ? kNaN : plan.impute;
+                row[f++] = gower ? kNaN : cp.impute;
               } else {
-                row[f++] = plan.normalizer.Apply(col.GetNumeric(r));
+                row[f++] = cp.normalizer.Apply(col.GetNumeric(r));
               }
               continue;
             }
@@ -173,11 +204,11 @@ Result<PreprocessedData> Preprocess(const Table& table,
               if (col.IsNull(r)) {
                 row[f++] = kNaN;
               } else {
-                auto it = plan.code.find(col.GetValue(r).ToString());
+                auto it = cp.code.find(col.GetValue(r).ToString());
                 // Categories beyond the cap share one overflow code.
-                row[f++] = it != plan.code.end()
+                row[f++] = it != cp.code.end()
                                ? static_cast<double>(it->second)
-                               : static_cast<double>(plan.code.size());
+                               : static_cast<double>(cp.code.size());
               }
               continue;
             }
@@ -186,14 +217,27 @@ Result<PreprocessedData> Preprocess(const Table& table,
             const bool is_null = col.IsNull(r);
             const std::string cell =
                 is_null ? std::string() : col.GetValue(r).ToString();
-            for (const std::string& cat : plan.categories) {
+            for (const std::string& cat : cp.categories) {
               row[f++] = (!is_null && cell == cat) ? 1.0 : 0.0;
             }
           }
         }
       },
-      options.num_threads);
+      num_threads);
   return out;
+}
+
+Result<PreprocessedData> Preprocess(const Table& table,
+                                    const SelectionVector& sel,
+                                    const PreprocessOptions& options) {
+  std::shared_ptr<const PreprocessPlan> plan = options.reuse_plan;
+  if (plan == nullptr) {
+    BLAEU_ASSIGN_OR_RETURN(PreprocessPlan fresh,
+                           PlanPreprocess(table, sel, options));
+    plan = std::make_shared<const PreprocessPlan>(std::move(fresh));
+  }
+  if (options.plan_out != nullptr) *options.plan_out = plan;
+  return FillFeatures(table, sel, *plan, options.num_threads);
 }
 
 }  // namespace blaeu::core

@@ -6,15 +6,20 @@
 // in the database."
 #pragma once
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "monet/selection.h"
 #include "monet/table.h"
 #include "stats/matrix.h"
+#include "stats/normalize.h"
 
 namespace blaeu::core {
+
+struct PreprocessPlan;
 
 /// How categorical columns enter the feature space.
 enum class CategoricalEncoding {
@@ -39,6 +44,27 @@ struct PreprocessOptions {
   /// (common/parallel.h: 0 = process default, 1 = serial). The feature
   /// matrix is bit-identical at any value.
   size_t num_threads = 0;
+
+  // -- Reuse hooks (see core/map_cache.h for the correctness contract) --
+
+  /// Bit-identical reuse: when non-null, planning trusts this list of
+  /// primary-key column indices instead of re-running detection. Detection
+  /// depends only on the table (never the selection), so a caller that
+  /// computed it once for the same (table, columns) pair cannot change the
+  /// output by passing it back in. Not owned; must outlive the call.
+  const std::vector<size_t>* known_primary_keys = nullptr;
+
+  /// Re-normalized reuse: when set, Preprocess() skips planning entirely
+  /// and fills features with this plan. The plan's normalizers, category
+  /// tables and type decisions were fit on the selection it was planned on,
+  /// so the output is bit-identical to a cold run ONLY when that selection
+  /// (and table) is the same; for a child selection (zoom) the features
+  /// come out normalized by the parent's statistics instead.
+  std::shared_ptr<const PreprocessPlan> reuse_plan;
+
+  /// When non-null, receives the plan the run used (freshly planned or
+  /// `reuse_plan`), so callers can cache it for future reuse.
+  std::shared_ptr<const PreprocessPlan>* plan_out = nullptr;
 };
 
 /// \brief Description of one feature of the preprocessed matrix.
@@ -60,7 +86,47 @@ struct PreprocessedData {
   std::vector<bool> categorical_mask() const;
 };
 
-/// Runs the preprocessing pipeline over the rows in `sel`.
+/// \brief One column's fitted preprocessing decisions.
+struct ColumnPlan {
+  size_t column = 0;        ///< index into the input table's schema
+  bool categorical = false;
+  std::vector<std::string> categories;  ///< dummy layout (kDummy only)
+  stats::Normalizer normalizer = stats::Normalizer::ZScore({});
+  std::unordered_map<std::string, int> code;  ///< kGower category codes
+  double impute = 0.0;      ///< numeric NaN replacement (normalized mean)
+};
+
+/// \brief The reusable product of the planning phase: everything Preprocess
+/// derives from (table, selection, options) before touching the feature
+/// matrix. Filling a matrix from a plan is a pure function of the plan and
+/// the rows being filled.
+struct PreprocessPlan {
+  std::vector<ColumnPlan> columns;        ///< in schema order
+  std::vector<FeatureInfo> feature_info;  ///< resulting feature layout
+  std::vector<size_t> used_columns;
+  std::vector<size_t> dropped_keys;
+  CategoricalEncoding encoding = CategoricalEncoding::kDummy;
+
+  size_t num_features() const { return feature_info.size(); }
+  /// Rough heap footprint, for cache budgeting.
+  size_t ApproxBytes() const;
+};
+
+/// Phase 1: fits per-column plans (type decision, category ranking,
+/// normalizer, primary-key removal) over the rows in `sel`.
+Result<PreprocessPlan> PlanPreprocess(const monet::Table& table,
+                                      const monet::SelectionVector& sel,
+                                      const PreprocessOptions& options = {});
+
+/// Phase 2: fills one feature row per row of `sel` according to `plan`.
+/// Bit-identical at any thread count.
+Result<PreprocessedData> FillFeatures(const monet::Table& table,
+                                      const monet::SelectionVector& sel,
+                                      const PreprocessPlan& plan,
+                                      size_t num_threads = 0);
+
+/// Runs the preprocessing pipeline over the rows in `sel` (= PlanPreprocess
+/// followed by FillFeatures, honouring the reuse hooks in `options`).
 ///
 /// Missing values: with kDummy encoding, numeric NaNs are imputed at the
 /// (normalized) mean and missing categoricals get all-zero dummies; with

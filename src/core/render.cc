@@ -125,36 +125,57 @@ std::string RenderBreadcrumbs(const Session& session) {
   return out.str();
 }
 
-std::string MapToJson(const DataMap& map) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("active_columns").BeginArray();
-  for (const auto& c : map.active_columns) w.String(c);
-  w.EndArray();
-  w.KV("num_clusters", map.num_clusters)
+namespace {
+
+/// Shared body of MapToJson / CanonicalMapJson. `canonical` drops the
+/// timing field and adds the medoid rows (which MapToJson predates).
+void WriteMapJson(const DataMap& map, bool canonical, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("active_columns").BeginArray();
+  for (const auto& c : map.active_columns) w->String(c);
+  w->EndArray();
+  w->KV("num_clusters", map.num_clusters)
       .KV("silhouette", map.silhouette)
       .KV("tree_fidelity", map.tree_fidelity)
       .KV("sample_size", map.sample_size)
       .KV("total_tuples", map.total_tuples)
-      .KV("algorithm", map.algorithm)
-      .KV("build_seconds", map.build_seconds);
-  w.Key("regions").BeginArray();
+      .KV("algorithm", map.algorithm);
+  if (!canonical) w->KV("build_seconds", map.build_seconds);
+  w->Key("regions").BeginArray();
   for (const MapRegion& r : map.regions) {
-    w.BeginObject();
-    w.KV("id", static_cast<int64_t>(r.id))
+    w->BeginObject();
+    w->KV("id", static_cast<int64_t>(r.id))
         .KV("parent", static_cast<int64_t>(r.parent))
         .KV("edge", r.EdgeLabel())
         .KV("predicate", r.predicate.ToSql())
         .KV("tuples", r.tuple_count)
         .KV("leaf", r.is_leaf())
         .KV("cluster", static_cast<int64_t>(r.cluster_label));
-    w.Key("children").BeginArray();
-    for (int c : r.children) w.Int(c);
-    w.EndArray();
-    w.EndObject();
+    if (canonical) {
+      w->KV("medoid_row", r.has_medoid
+                              ? static_cast<int64_t>(r.medoid_row)
+                              : static_cast<int64_t>(-1));
+    }
+    w->Key("children").BeginArray();
+    for (int c : r.children) w->Int(c);
+    w->EndArray();
+    w->EndObject();
   }
-  w.EndArray();
-  w.EndObject();
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MapToJson(const DataMap& map) {
+  JsonWriter w;
+  WriteMapJson(map, /*canonical=*/false, &w);
+  return w.str();
+}
+
+std::string CanonicalMapJson(const DataMap& map) {
+  JsonWriter w;
+  WriteMapJson(map, /*canonical=*/true, &w);
   return w.str();
 }
 

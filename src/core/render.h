@@ -32,6 +32,13 @@ std::string RenderBreadcrumbs(const Session& session);
 /// JSON document for a map (regions, predicates, counts, quality).
 std::string MapToJson(const DataMap& map);
 
+/// Canonical JSON form of a map for regression fixtures and byte-identity
+/// comparisons: everything MapToJson carries (plus medoids) EXCEPT
+/// build_seconds, the one field that legitimately varies between identical
+/// builds. Doubles use JsonWriter's default %.12g formatting — stable across
+/// runs of the same binary and tight enough to catch real drift.
+std::string CanonicalMapJson(const DataMap& map);
+
 /// JSON document for a theme set.
 std::string ThemesToJson(const ThemeSet& themes);
 

@@ -29,6 +29,17 @@ SelectionVector SelectionVector::Union(const SelectionVector& other) const {
   return SelectionVector(std::move(out));
 }
 
+uint64_t SelectionVector::Fingerprint() const {
+  // FNV-1a over the length followed by every row id, 4 bytes at a time.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(rows_.size()));
+  for (uint32_t r : rows_) mix(static_cast<uint64_t>(r) + 1);
+  return h;
+}
+
 SelectionVector SelectionVector::Difference(
     const SelectionVector& other) const {
   std::vector<uint32_t> out;

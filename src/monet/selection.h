@@ -42,6 +42,11 @@ class SelectionVector {
     return rows_ == other.rows_;
   }
 
+  /// Stable 64-bit content fingerprint (FNV-1a over size + row ids). Equal
+  /// selections always fingerprint equal; distinct selections collide with
+  /// probability ~2^-64. Used as the selection component of map-cache keys.
+  uint64_t Fingerprint() const;
+
  private:
   std::vector<uint32_t> rows_;
 };

@@ -35,8 +35,12 @@ double JointEntropy(const std::vector<int>& xs, const std::vector<int>& ys) {
   assert(xs.size() == ys.size());
   std::unordered_map<int64_t, size_t> counts;
   for (size_t i = 0; i < xs.size(); ++i) {
-    int64_t key = (static_cast<int64_t>(xs[i]) << 32) ^
-                  static_cast<int64_t>(static_cast<uint32_t>(ys[i]));
+    // Shift in the unsigned domain: left-shifting a negative signed value
+    // is UB (pre-C++20), and label ids can be negative sentinels.
+    uint64_t packed = (static_cast<uint64_t>(static_cast<uint32_t>(xs[i]))
+                       << 32) |
+                      static_cast<uint64_t>(static_cast<uint32_t>(ys[i]));
+    int64_t key = static_cast<int64_t>(packed);
     ++counts[key];
   }
   return EntropyFromCounts(counts, xs.size());

@@ -1,0 +1,283 @@
+// Unit tests for the navigation-aware map cache (core/map_cache.h): LRU
+// byte budget, table-reload invalidation, session-lifecycle release, env
+// override, and the parent-plan reuse opt-in.
+#include "core/map_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/explorer.h"
+#include "core/navigation.h"
+#include "workloads/gaussian.h"
+
+namespace blaeu::core {
+namespace {
+
+SessionOptions FastOptions() {
+  SessionOptions opt;
+  opt.map.sample_size = 400;
+  opt.map.k_max = 4;
+  return opt;
+}
+
+monet::TablePtr MixtureTable(size_t rows = 600, uint64_t seed = 42) {
+  workloads::MixtureSpec spec;
+  spec.rows = rows;
+  spec.num_clusters = 3;
+  spec.dims = 4;
+  spec.with_categorical = true;
+  spec.seed = seed;
+  return workloads::MakeGaussianMixture(spec).table;
+}
+
+TEST(MapCacheKeyTest, EqualityAndHashTrackComponents) {
+  MapCacheKey a;
+  a.table_name = "t";
+  a.table_version = 1;
+  a.selection_fp = 7;
+  MapCacheKey b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.selection_fp = 8;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hash(), b.Hash());
+  b = a;
+  b.table_version = 2;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MapCacheTest, FingerprintStringsIsOrderSensitive) {
+  EXPECT_NE(FingerprintStrings({"a", "b"}), FingerprintStrings({"b", "a"}));
+  EXPECT_NE(FingerprintStrings({"ab"}), FingerprintStrings({"a", "b"}));
+  EXPECT_EQ(FingerprintStrings({"a", "b"}), FingerprintStrings({"a", "b"}));
+}
+
+TEST(MapCacheTest, BudgetFromEnvOverrides) {
+  unsetenv("BLAEU_CACHE_BYTES");
+  EXPECT_EQ(MapCache::BudgetFromEnv(999), 999u);
+  setenv("BLAEU_CACHE_BYTES", "12345", 1);
+  EXPECT_EQ(MapCache::BudgetFromEnv(999), 12345u);
+  setenv("BLAEU_CACHE_BYTES", "not-a-number", 1);
+  EXPECT_EQ(MapCache::BudgetFromEnv(999), 999u);
+  unsetenv("BLAEU_CACHE_BYTES");
+}
+
+TEST(MapCacheTest, InsertLookupRoundTrip) {
+  MapCache cache;
+  MapCacheKey key;
+  key.table_name = "t";
+  key.selection_fp = 1;
+  auto map = std::make_shared<const DataMap>();
+  cache.Insert(key, /*session_id=*/1, map);
+  EXPECT_EQ(cache.Lookup(key, 1).get(), map.get());
+  MapCacheKey other = key;
+  other.selection_fp = 2;
+  EXPECT_EQ(cache.Lookup(other, 1), nullptr);
+  MapCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.inserts, 1);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(MapCacheTest, LruEvictionRespectsByteBudget) {
+  // Size the budget from a real entry so the test tracks EstimateMapBytes.
+  DataMap probe;
+  probe.regions.resize(3);
+  const size_t one = EstimateMapBytes(probe) + 256;  // entry + overhead
+  MapCache cache(3 * one);
+  auto key_for = [](uint64_t i) {
+    MapCacheKey k;
+    k.table_name = "t";
+    k.selection_fp = i;
+    return k;
+  };
+  for (uint64_t i = 0; i < 8; ++i) {
+    cache.Insert(key_for(i), 1, std::make_shared<const DataMap>(probe));
+    EXPECT_LE(cache.stats().bytes, 3 * one);
+  }
+  MapCacheStats s = cache.stats();
+  EXPECT_EQ(s.inserts, 8);
+  EXPECT_GT(s.evictions, 0);
+  EXPECT_LE(s.bytes, s.budget_bytes);
+  // The oldest entries are gone, the newest survive.
+  EXPECT_EQ(cache.Lookup(key_for(0), 1), nullptr);
+  EXPECT_NE(cache.Lookup(key_for(7), 1), nullptr);
+  // A lookup refreshes recency: touch the LRU survivor, insert one more,
+  // and the touched entry outlives the untouched one.
+  MapCacheStats before = cache.stats();
+  uint64_t oldest_alive = 0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    if (cache.Lookup(key_for(i), 1) != nullptr) {
+      oldest_alive = i;
+      break;
+    }
+  }
+  ASSERT_NE(cache.Lookup(key_for(oldest_alive), 1), nullptr);
+  cache.Insert(key_for(100), 1, std::make_shared<const DataMap>(probe));
+  EXPECT_NE(cache.Lookup(key_for(oldest_alive), 1), nullptr);
+  EXPECT_GT(cache.stats().evictions, before.evictions);
+}
+
+TEST(MapCacheTest, OversizedEntryIsRejectedNotCached) {
+  DataMap probe;
+  probe.regions.resize(3);
+  MapCache cache(/*budget_bytes=*/16);  // smaller than any real entry
+  MapCacheKey key;
+  key.table_name = "t";
+  cache.Insert(key, 1, std::make_shared<const DataMap>(probe));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(key, 1), nullptr);
+}
+
+TEST(MapCacheTest, SessionCacheHitOnRollbackRevisit) {
+  auto table = MixtureTable();
+  auto session = Session::Start(table, "mixture", FastOptions());
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+  ASSERT_NE(s.cache(), nullptr);
+  std::vector<int> leaves = s.current().map.LeafIds();
+  ASSERT_FALSE(leaves.empty());
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  size_t misses_before = s.stats().cache_misses;
+  ASSERT_TRUE(s.Rollback().ok());
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());  // identical navigation state
+  EXPECT_GE(s.stats().cache_hits, 1u);
+  EXPECT_EQ(s.stats().cache_misses, misses_before);
+}
+
+TEST(MapCacheTest, DisabledCacheBuildsEveryTime) {
+  auto table = MixtureTable();
+  SessionOptions opt = FastOptions();
+  opt.cache_enabled = false;
+  auto session = Session::Start(table, "mixture", opt);
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+  EXPECT_EQ(s.cache(), nullptr);
+  std::vector<int> leaves = s.current().map.LeafIds();
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  ASSERT_TRUE(s.Rollback().ok());
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  EXPECT_EQ(s.stats().cache_hits, 0u);
+  EXPECT_EQ(s.stats().maps_built, 3u);  // start + zoom + re-zoom
+}
+
+TEST(MapCacheTest, ReloadingTableInvalidatesItsEntries) {
+  Explorer explorer(FastOptions());
+  ASSERT_TRUE(explorer.LoadTable(MixtureTable(), "mixture").ok());
+  auto session = explorer.OpenSession("mixture");
+  ASSERT_TRUE(session.ok());
+  ASSERT_NE(explorer.cache(), nullptr);
+  EXPECT_GT(explorer.cache()->stats().entries, 0u);
+  // Re-loading under the same name drops the cached maps AND bumps the
+  // version, so a new session cannot hit stale entries either way.
+  ASSERT_TRUE(explorer.LoadTable(MixtureTable(600, /*seed=*/7), "mixture").ok());
+  MapCacheStats s = explorer.cache()->stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.pk_entries, 0u);
+  EXPECT_GT(s.invalidations, 0);
+  // The old session pointer is stale by contract; a fresh session works.
+  auto reopened = explorer.OpenSession("mixture");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_GT(explorer.cache()->stats().entries, 0u);
+}
+
+TEST(MapCacheTest, OpenCloseCyclesDoNotLeakCacheEntries) {
+  Explorer explorer(FastOptions());
+  ASSERT_TRUE(explorer.LoadTable(MixtureTable(), "mixture").ok());
+  ASSERT_NE(explorer.cache(), nullptr);
+  size_t pk_entries_after_first = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto session = explorer.OpenSession("mixture");
+    ASSERT_TRUE(session.ok());
+    Session* s = *session;
+    std::vector<int> leaves = s->current().map.LeafIds();
+    ASSERT_FALSE(leaves.empty());
+    ASSERT_TRUE(s->Zoom(leaves[0]).ok());
+    EXPECT_GT(explorer.cache()->stats().entries, 0u);
+    ASSERT_TRUE(explorer.CloseSession("mixture").ok());
+    // Closing the only session must release every map entry: a serving
+    // layer cycling sessions cannot grow the cache without bound.
+    MapCacheStats stats = explorer.cache()->stats();
+    EXPECT_EQ(stats.entries, 0u) << "cycle " << cycle;
+    EXPECT_EQ(stats.bytes, 0u) << "cycle " << cycle;
+    // Primary-key entries persist by design (they are per-table, tiny, and
+    // replaced in place) — but they must not multiply across cycles.
+    if (cycle == 0) {
+      pk_entries_after_first = stats.pk_entries;
+    } else {
+      EXPECT_EQ(stats.pk_entries, pk_entries_after_first) << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(MapCacheTest, MovedFromSessionReleasesNothing) {
+  auto cache = std::make_shared<MapCache>();
+  SessionOptions opt = FastOptions();
+  opt.cache = cache;
+  auto table = MixtureTable();
+  auto started = Session::Start(table, "mixture", opt);
+  ASSERT_TRUE(started.ok());
+  size_t entries;
+  {
+    Session outer = std::move(started).ValueOrDie();
+    entries = cache->stats().entries;
+    EXPECT_GT(entries, 0u);
+    {
+      Session inner = std::move(outer);
+      // The moved-from `outer` dies at the end of the enclosing scope; the
+      // entries now belong to `inner` until it is destroyed.
+      EXPECT_EQ(cache->stats().entries, entries);
+    }
+    EXPECT_EQ(cache->stats().entries, 0u);  // inner released them
+  }
+  EXPECT_EQ(cache->stats().entries, 0u);  // outer's death was a no-op
+}
+
+TEST(MapCacheTest, ParentPlanReuseIsOptInAndCounted) {
+  auto table = MixtureTable(1200);
+  SessionOptions opt = FastOptions();
+  opt.reuse_parent_plans = true;
+  auto session = Session::Start(table, "mixture", opt);
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+  std::vector<int> leaves = s.current().map.LeafIds();
+  ASSERT_FALSE(leaves.empty());
+  // Zoom keeps the parent's columns, so the parent's plan applies.
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  EXPECT_GE(s.stats().plan_reuses, 1u);
+  EXPECT_FALSE(s.current().map.regions.empty());
+
+  // Default options never reuse a parent plan.
+  auto cold = Session::Start(table, "mixture", FastOptions());
+  ASSERT_TRUE(cold.ok());
+  Session c = std::move(cold).ValueOrDie();
+  std::vector<int> cold_leaves = c.current().map.LeafIds();
+  ASSERT_FALSE(cold_leaves.empty());
+  ASSERT_TRUE(c.Zoom(cold_leaves[0]).ok());
+  EXPECT_EQ(c.stats().plan_reuses, 0u);
+}
+
+TEST(MapCacheTest, StatsJsonListsAllFields) {
+  MapCache cache;
+  std::string json = cache.StatsJson();
+  for (const char* field :
+       {"hits", "misses", "inserts", "evictions", "invalidations", "pk_hits",
+        "pk_misses", "entries", "bytes", "budget_bytes", "pk_entries"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(MapCacheTest, ExplorerStatsReportIncludesCacheSection) {
+  Explorer explorer(FastOptions());
+  ASSERT_TRUE(explorer.LoadTable(MixtureTable(), "mixture").ok());
+  ASSERT_TRUE(explorer.OpenSession("mixture").ok());
+  std::string report = explorer.StatsReport();
+  EXPECT_NE(report.find("\"cache\""), std::string::npos);
+  EXPECT_NE(report.find("cache_hits"), std::string::npos);
+  EXPECT_NE(report.find("budget_bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blaeu::core
