@@ -14,11 +14,18 @@
 //   BENCH_map_pipeline_threads.json    — wall clock at 1/2/4/N threads
 //   BENCH_map_pipeline_navigation.json — cold vs. warm zoom sequence (the
 //                                        map cache's interaction-time win)
+//   BENCH_map_pipeline_regression.json — exact p50/p95 of the operating-point
+//                                        build; compared against
+//                                        bench/baselines/ by
+//                                        tools/check_bench_regression (CI gate)
+//   BENCH_map_pipeline_report.html     — self-contained HTML perf report
+//   BENCH_map_pipeline_openmetrics.txt — Prometheus/OpenMetrics exposition
 // so the dominant pipeline stage is known before optimizing anything and
 // the parallel layer's speedup stays measured.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -27,6 +34,7 @@
 #include "common/timer.h"
 #include "core/map_builder.h"
 #include "core/navigation.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workloads/lofar.h"
@@ -343,6 +351,86 @@ void EmitNavigationBench() {
               w.str().c_str());
 }
 
+/// The CI perf-regression point: core.map.build_seconds at the LOFAR
+/// operating point (32k rows, sample 2000, fixed k=4, 1 thread), kReps
+/// repetitions after one warm-up. p50/p95 are exact nearest-rank order
+/// statistics over the raw wall-clock samples — the log-scale metrics
+/// histogram quantizes to power-of-two buckets (~2x relative error), far
+/// too coarse for a 25% gate. tools/check_bench_regression compares the
+/// emitted JSON against the committed bench/baselines/ snapshot.
+void EmitRegressionPoint() {
+  constexpr size_t kRows = 32000;
+  constexpr int kReps = 15;
+  const auto& data = LofarCached(kRows);
+  auto columns = FluxColumns(*data.table);
+  auto sel = monet::SelectionVector::All(data.table->num_rows());
+
+  core::MapOptions opt;
+  opt.sample_size = 2000;
+  opt.fixed_k = 4;
+  opt.seed = 7;
+  opt.num_threads = 1;
+
+  auto warm = core::BuildMap(*data.table, sel, columns, opt);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "regression point build failed: %s\n",
+                 warm.status().ToString().c_str());
+    return;
+  }
+  std::vector<double> samples;
+  samples.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    auto map = core::BuildMap(*data.table, sel, columns, opt);
+    if (!map.ok()) {
+      std::fprintf(stderr, "regression point build failed: %s\n",
+                   map.status().ToString().c_str());
+      return;
+    }
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  auto nearest_rank = [&](double q) {
+    size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    if (rank >= samples.size()) rank = samples.size() - 1;
+    return samples[rank];
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "map_pipeline_regression");
+  w.KV("metric", "core.map.build_seconds");
+  w.KV("rows", kRows);
+  w.KV("sample_size", opt.sample_size);
+  w.KV("k", opt.fixed_k);
+  w.KV("threads", static_cast<int64_t>(1));
+  w.KV("reps", kReps);
+  w.KV("p50_seconds", nearest_rank(0.50));
+  w.KV("p95_seconds", nearest_rank(0.95));
+  w.KV("min_seconds", samples.front());
+  w.KV("max_seconds", samples.back());
+  w.EndObject();
+
+  std::ofstream out("BENCH_map_pipeline_regression.json");
+  out << w.str() << "\n";
+  std::printf("%s\nwrote BENCH_map_pipeline_regression.json\n",
+              w.str().c_str());
+}
+
+/// The process-global metrics accumulated across every bench above, as a
+/// Prometheus exposition and a human-readable HTML waterfall — the CI run
+/// uploads both as artifacts.
+void EmitPerfReport() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  std::ofstream om("BENCH_map_pipeline_openmetrics.txt");
+  om << obs::ToOpenMetrics(snap, {{"bench", "map_pipeline"}});
+  std::ofstream html("BENCH_map_pipeline_report.html");
+  html << obs::ToHtmlReport(snap, "Blaeu map-pipeline perf report");
+  std::printf(
+      "wrote BENCH_map_pipeline_openmetrics.txt and "
+      "BENCH_map_pipeline_report.html\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,5 +441,7 @@ int main(int argc, char** argv) {
   EmitStageBreakdown();
   EmitThreadScaling();
   EmitNavigationBench();
+  EmitRegressionPoint();
+  EmitPerfReport();
   return 0;
 }

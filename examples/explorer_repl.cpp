@@ -21,6 +21,10 @@
 //   rollback            undo the last action
 //   json                dump the current map as JSON
 //   stats               per-session and process-wide metrics (JSON)
+//   stats --format=openmetrics      Prometheus text exposition of the metrics
+//   stats --format=html [path]      self-contained HTML perf report
+//   flightlog [n]       last n flight-recorder events (default: everything)
+//   flightlog dump <path>           dump the flight log as JSON to <path>
 //   trace <path>        dump a Chrome trace of all spans so far to <path>
 //   help                this text
 //   quit                exit
@@ -34,6 +38,9 @@
 
 #include "common/string_util.h"
 #include "core/explorer.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "core/atlas.h"
 #include "core/report.h"
@@ -53,7 +60,9 @@ void PrintHelp() {
       "          highlight <col> | detail <col> | scatter <x> <y> |\n"
       "          annotate <r> <note> | suggest | atlas | inspect <r> |\n"
       "          sql | history | rollback | json | session |\n"
-      "          stats | trace <path> | export <dir> | help | quit\n");
+      "          stats [--format=openmetrics|html [path]] |\n"
+      "          flightlog [n] | flightlog dump <path> |\n"
+      "          trace <path> | export <dir> | help | quit\n");
 }
 
 monet::TablePtr LoadDataset(const std::string& arg, std::string* name) {
@@ -261,7 +270,59 @@ int main(int argc, char** argv) {
     } else if (cmd == "session") {
       std::printf("%s\n", session.ToJson().c_str());
     } else if (cmd == "stats") {
-      std::printf("%s\n", explorer.StatsReport().c_str());
+      std::string format;
+      in >> format;
+      if (format.empty()) {
+        std::printf("%s\n", explorer.StatsReport().c_str());
+      } else if (format == "--format=openmetrics") {
+        std::printf("%s",
+                    obs::ToOpenMetrics(obs::MetricsRegistry::Global()).c_str());
+      } else if (format == "--format=html") {
+        std::string html = obs::ToHtmlReport(obs::MetricsRegistry::Global(),
+                                             "Blaeu session perf report");
+        std::string path;
+        if (in >> path) {
+          std::ofstream out(path);
+          if (!out.is_open()) {
+            std::printf("cannot open '%s' for writing\n", path.c_str());
+            continue;
+          }
+          out << html;
+          std::printf("perf report written to %s\n", path.c_str());
+        } else {
+          std::printf("%s", html.c_str());
+        }
+      } else {
+        std::printf("usage: stats [--format=openmetrics|html [path]]\n");
+      }
+    } else if (cmd == "flightlog") {
+      std::string sub;
+      in >> sub;
+      if (sub == "dump") {
+        std::string path;
+        if (!(in >> path)) {
+          std::printf("usage: flightlog dump <path>\n");
+          continue;
+        }
+        std::ofstream out(path);
+        if (!out.is_open()) {
+          std::printf("cannot open '%s' for writing\n", path.c_str());
+          continue;
+        }
+        out << explorer.FlightLogJson();
+        std::printf("flight log written to %s\n", path.c_str());
+      } else {
+        size_t n = 0;
+        if (!sub.empty()) {
+          try {
+            n = std::stoul(sub);
+          } catch (...) {
+            std::printf("usage: flightlog [n] | flightlog dump <path>\n");
+            continue;
+          }
+        }
+        std::printf("%s", obs::FlightRecorder::Global().ToText(n).c_str());
+      }
     } else if (cmd == "trace") {
       std::string path;
       if (!(in >> path)) {

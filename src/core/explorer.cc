@@ -1,6 +1,7 @@
 #include "core/explorer.h"
 
 #include "common/json_writer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace blaeu::core {
@@ -8,7 +9,8 @@ namespace blaeu::core {
 Explorer::Explorer(SessionOptions options) : options_(std::move(options)) {
   if (options_.cache_enabled && options_.cache == nullptr) {
     options_.cache = std::make_shared<MapCache>(
-        MapCache::BudgetFromEnv(options_.cache_budget_bytes));
+        MapCache::BudgetFromEnv(options_.cache_budget_bytes),
+        options_.map.metrics, options_.map.tracer, options_.map.flight);
   }
 }
 
@@ -19,6 +21,17 @@ void Explorer::InstallTable(const std::string& name, monet::TablePtr table) {
   if (replacing && options_.cache != nullptr) {
     options_.cache->EvictTable(name);
   }
+  auto loaded = catalog_.Get(name);
+  obs::FlightRecorder* flight = options_.map.flight != nullptr
+                                    ? options_.map.flight
+                                    : &obs::FlightRecorder::Global();
+  flight->Record(
+      obs::FlightEventKind::kLoad, "core.explorer.load",
+      {{"table", name},
+       {"rows", loaded.ok() ? std::to_string((*loaded)->num_rows()) : "0"},
+       {"columns",
+        loaded.ok() ? std::to_string((*loaded)->num_columns()) : "0"},
+       {"replaced", replacing ? "1" : "0"}});
 }
 
 Status Explorer::LoadCsv(const std::string& path, const std::string& name,
@@ -103,6 +116,13 @@ std::string Explorer::StatsReport() const {
   w.Key("metrics").RawValue(obs::MetricsRegistry::Global().ToJson());
   w.EndObject();
   return w.str();
+}
+
+std::string Explorer::FlightLogJson(size_t n) const {
+  obs::FlightRecorder* flight = options_.map.flight != nullptr
+                                    ? options_.map.flight
+                                    : &obs::FlightRecorder::Global();
+  return flight->ToJson(n);
 }
 
 }  // namespace blaeu::core

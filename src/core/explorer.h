@@ -61,6 +61,11 @@ class Explorer {
   /// expose on a /stats endpoint.
   std::string StatsReport() const;
 
+  /// JSON dump of the last `n` flight-recorder events (0 = everything still
+  /// in the ring). Reads the recorder injected via the session options, else
+  /// the process-global one — the REPL's `flightlog` command.
+  std::string FlightLogJson(size_t n = 0) const;
+
   /// The cache shared by this explorer's sessions (null when disabled).
   const MapCachePtr& cache() const { return options_.cache; }
 

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "monet/predicate.h"
+#include "obs/resource.h"
 
 namespace blaeu::core {
 
@@ -49,6 +50,12 @@ struct DataMap {
   size_t total_tuples = 0;      ///< size of the selection summarized
   std::string algorithm;        ///< "pam", "clara", ...
   double build_seconds = 0.0;   ///< wall-clock build latency
+  /// What producing this map cost for THIS interaction (obs/resource.h). A
+  /// map served from the cache reports cache_hits = 1 and zero work; a cold
+  /// build reports the sampled row count, distance evaluations, per-stage
+  /// times etc. Not part of the map's identity: canonical JSON and the
+  /// golden fixtures exclude it.
+  obs::ResourceProfile resources;
 
   const MapRegion& root() const { return regions.front(); }
   const MapRegion& region(int id) const { return regions[id]; }

@@ -26,13 +26,18 @@ using monet::TablePtr;
 namespace {
 
 /// Distance function over preprocessed features: Euclidean for dummy
-/// encoding, Gower for mixed/Gower encoding.
+/// encoding, Gower for mixed/Gower encoding. Every evaluation — distance
+/// matrix, CLARA assignment, Monte-Carlo silhouette — tallies into `evals`
+/// (relaxed atomic: calls come from pool threads) for the map's
+/// ResourceProfile.
 struct FeatureMetric {
   const stats::Matrix* features;
   bool use_gower;
   stats::GowerDistance gower;
+  std::atomic<int64_t>* evals = nullptr;
 
   double operator()(size_t i, size_t j) const {
+    if (evals != nullptr) evals->fetch_add(1, std::memory_order_relaxed);
     if (use_gower) {
       return gower(features->RowPtr(i), features->RowPtr(j));
     }
@@ -96,7 +101,8 @@ Status SweepK(
 Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
                                      const FeatureMetric& metric,
                                      const MapOptions& options,
-                                     obs::Tracer* tracer, obs::Span* span) {
+                                     obs::Tracer* tracer, obs::Span* span,
+                                     obs::ScratchCounter* scratch) {
   const size_t n = features.rows();
   MapAlgorithm algo = options.algorithm;
   if (algo == MapAlgorithm::kAuto) {
@@ -164,6 +170,7 @@ Result<ClusterOutcome> RunClustering(const stats::Matrix& features,
   // independent, so it is built row-blocked on the pool; every (i, j) entry
   // is computed exactly once regardless of the thread count.
   stats::DistanceMatrix dist(n);
+  obs::ScratchCharge dist_bytes(scratch, n * (n - 1) / 2 * sizeof(double));
   {
     obs::Span dist_span(tracer, "core.map.distance_matrix");
     ParallelFor(
@@ -282,11 +289,11 @@ void BuildRegions(const tree::CartModel& model, const tree::CartNode& node,
   }
 }
 
-}  // namespace
-
-Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
-                         const std::vector<std::string>& columns,
-                         const MapOptions& options) {
+/// Builds the map and fills its ResourceProfile; the public BuildMap wraps
+/// this with the flight-recorder events (success and error alike).
+Result<DataMap> BuildMapImpl(const Table& table, const SelectionVector& sel,
+                             const std::vector<std::string>& columns,
+                             const MapOptions& options) {
   Timer timer;
   if (columns.empty()) return Status::Invalid("no active columns");
   if (sel.empty()) return Status::Invalid("empty selection");
@@ -304,6 +311,21 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   metrics->counter("core.map.builds")->Increment();
   ScopedTimer build_latency(metrics->histogram("core.map.build_seconds"));
 
+  // Resource accounting for this one build (obs/resource.h): the profile
+  // travels with the map and aggregates into the registry at the end.
+  obs::ScratchCounter scratch;
+  std::atomic<int64_t> dist_evals{0};
+  obs::ResourceProfile res;
+  auto finalize = [&](DataMap* m) {
+    res.distance_evaluations = dist_evals.load(std::memory_order_relaxed);
+    res.cart_nodes = static_cast<int64_t>(m->regions.size());
+    res.peak_scratch_bytes = scratch.peak();
+    m->build_seconds = timer.ElapsedSeconds();
+    res.total_seconds = m->build_seconds;
+    m->resources = res;
+    res.ReportTo(metrics);
+  };
+
   // The map-wide thread budget flows into every stage.
   PreprocessOptions pre_options = options.preprocess;
   pre_options.num_threads = options.num_threads;
@@ -317,12 +339,15 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   SelectionVector sample = sel;
   {
     obs::Span span(tracer, "core.map.sample");
+    Timer stage;
     if (options.sample_size > 0 && sel.size() > options.sample_size) {
       sample = monet::SampleFromSelection(sel, options.sample_size, &rng);
     }
+    res.stages.push_back({"sample", stage.ElapsedSeconds()});
     span.SetAttr("rows_in", sel.size());
     span.SetAttr("rows_sampled", sample.size());
   }
+  res.rows_scanned = static_cast<int64_t>(sample.size());
 
   // 2. Preprocess into vectors. A selection whose columns are all constant
   // (e.g. after zooming into a single-category region) yields a trivial
@@ -331,7 +356,9 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   Result<PreprocessedData> pre_or = [&]() -> Result<PreprocessedData> {
     obs::Span span(tracer, "core.map.preprocess");
     span.SetAttr("threads", threads);
+    Timer stage;
     auto result = Preprocess(*view, sample, pre_options);
+    res.stages.push_back({"preprocess", stage.ElapsedSeconds()});
     if (result.ok()) {
       span.SetAttr("feature_rows", result.ValueOrDie().features.rows());
       span.SetAttr("feature_cols", result.ValueOrDie().features.cols());
@@ -350,11 +377,15 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
     map.num_clusters = 1;
     map.sample_size = sample.size();
     map.algorithm = "trivial";
-    map.build_seconds = timer.ElapsedSeconds();
+    finalize(&map);
     return map;
   }
   PreprocessedData pre = std::move(pre_or).ValueOrDie();
   map.sample_size = pre.features.rows();
+  res.cells_materialized =
+      static_cast<int64_t>(pre.features.rows() * pre.features.cols());
+  // The feature matrix lives until the end of the build.
+  scratch.Charge(pre.features.rows() * pre.features.cols() * sizeof(double));
 
   // Degenerate inputs (too few distinct tuples to split) yield a one-region
   // map rather than an error: the user can still highlight and inspect.
@@ -370,7 +401,7 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
     map.regions.push_back(std::move(root));
     map.num_clusters = 1;
     map.algorithm = "trivial";
-    map.build_seconds = timer.ElapsedSeconds();
+    finalize(&map);
     return map;
   }
 
@@ -382,13 +413,17 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
       &pre.features, use_gower,
       use_gower
           ? stats::GowerDistance::Fit(pre.features, pre.categorical_mask())
-          : stats::GowerDistance({}, {})};
+          : stats::GowerDistance({}, {}),
+      &dist_evals};
   ClusterOutcome outcome;
   {
     obs::Span span(tracer, "core.map.cluster");
     span.SetAttr("threads", threads);
+    Timer stage;
     BLAEU_ASSIGN_OR_RETURN(
-        outcome, RunClustering(pre.features, metric, options, tracer, &span));
+        outcome, RunClustering(pre.features, metric, options, tracer, &span,
+                               &scratch));
+    res.stages.push_back({"cluster", stage.ElapsedSeconds()});
     span.SetAttr("algorithm", outcome.algorithm);
     span.SetAttr("k", outcome.result.num_clusters());
     span.SetAttr("silhouette", outcome.silhouette);
@@ -402,12 +437,14 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   Result<tree::CartModel> model_or = [&]() -> Result<tree::CartModel> {
     obs::Span span(tracer, "core.map.describe");
     span.SetAttr("threads", threads);
+    Timer stage;
     BLAEU_ASSIGN_OR_RETURN(
         tree::CartModel model,
         tree::CartModel::Train(*view, pre.rows, outcome.result.labels,
                                tree_options));
     map.tree_fidelity =
         model.Fidelity(*view, pre.rows, outcome.result.labels);
+    res.stages.push_back({"describe", stage.ElapsedSeconds()});
     span.SetAttr("fidelity", map.tree_fidelity);
     return model;
   }();
@@ -417,7 +454,9 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   // 5. Assemble the region hierarchy from the tree.
   {
     obs::Span span(tracer, "core.map.assemble");
+    Timer stage;
     BuildRegions(model, model.root(), -1, monet::Conjunction(), &map);
+    res.stages.push_back({"assemble", stage.ElapsedSeconds()});
     span.SetAttr("regions", map.regions.size());
   }
 
@@ -430,6 +469,8 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
   {
     obs::Span span(tracer, "core.map.count");
     span.SetAttr("threads", threads);
+    Timer stage;
+    size_t counted_bytes = 0;
     const size_t num_regions = map.regions.size();
     std::vector<int> region_depth(num_regions, 0);
     std::vector<std::vector<int>> levels;
@@ -444,7 +485,9 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
     for (int id : levels[0]) {  // the root summarizes the whole selection
       region_rows[id] = sel;
       map.regions[id].tuple_count = sel.size();
+      counted_bytes += sel.size() * sizeof(uint32_t);
     }
+    scratch.Charge(counted_bytes);
     for (size_t d = 1; d < levels.size(); ++d) {
       const std::vector<int>& level = levels[d];
       ParallelFor(
@@ -463,8 +506,19 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
             }
           },
           options.num_threads);
-      for (int id : level) BLAEU_RETURN_NOT_OK(region_status[id]);
+      size_t level_bytes = 0;
+      for (int id : level) {
+        BLAEU_RETURN_NOT_OK(region_status[id]);
+        // Each region evaluated its edge over its parent's row set.
+        res.rows_counted += static_cast<int64_t>(
+            region_rows[map.regions[id].parent].size());
+        level_bytes += region_rows[id].size() * sizeof(uint32_t);
+      }
+      scratch.Charge(level_bytes);
+      counted_bytes += level_bytes;
     }
+    scratch.Release(counted_bytes);  // region_rows dies with this block
+    res.stages.push_back({"count", stage.ElapsedSeconds()});
     span.SetAttr("rows_counted", sel.size());
   }
 
@@ -477,8 +531,34 @@ Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
       region.has_medoid = true;
     }
   }
-  map.build_seconds = timer.ElapsedSeconds();
+  finalize(&map);
   return map;
+}
+
+}  // namespace
+
+Result<DataMap> BuildMap(const Table& table, const SelectionVector& sel,
+                         const std::vector<std::string>& columns,
+                         const MapOptions& options) {
+  Result<DataMap> result = BuildMapImpl(table, sel, columns, options);
+  obs::FlightRecorder* flight = options.flight != nullptr
+                                    ? options.flight
+                                    : &obs::FlightRecorder::Global();
+  if (!result.ok()) {
+    flight->Record(obs::FlightEventKind::kError, "core.map.build",
+                   {{"status", result.status().ToString()},
+                    {"rows", std::to_string(sel.size())}});
+    return result;
+  }
+  const DataMap& map = *result;
+  flight->Record(
+      obs::FlightEventKind::kMapBuilt, "core.map.build",
+      {{"rows", std::to_string(map.total_tuples)},
+       {"sample", std::to_string(map.sample_size)},
+       {"k", std::to_string(map.num_clusters)},
+       {"algorithm", map.algorithm},
+       {"ms", std::to_string(map.build_seconds * 1e3)}});
+  return result;
 }
 
 Result<DataMap> BuildMap(const Table& table, const MapOptions& options) {

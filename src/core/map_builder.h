@@ -12,6 +12,7 @@
 #include "core/preprocess.h"
 #include "monet/selection.h"
 #include "monet/table.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tree/cart.h"
@@ -62,6 +63,10 @@ struct MapOptions {
   /// build in isolation.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight recorder for the build's map_built / error events (null = the
+  /// process-global recorder). Like the sinks above, never part of the
+  /// cache key.
+  obs::FlightRecorder* flight = nullptr;
 
   MapOptions() {
     tree.max_depth = 4;

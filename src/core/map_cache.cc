@@ -102,10 +102,11 @@ size_t EstimateMapBytes(const DataMap& map) {
 }
 
 MapCache::MapCache(size_t budget_bytes, obs::MetricsRegistry* metrics,
-                   obs::Tracer* tracer)
+                   obs::Tracer* tracer, obs::FlightRecorder* flight)
     : budget_bytes_(budget_bytes),
       metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()),
-      tracer_(tracer != nullptr ? tracer : &obs::Tracer::Global()) {
+      tracer_(tracer != nullptr ? tracer : &obs::Tracer::Global()),
+      flight_(flight != nullptr ? flight : &obs::FlightRecorder::Global()) {
   counters_.budget_bytes = budget_bytes_;
 }
 
@@ -145,6 +146,9 @@ std::shared_ptr<const DataMap> MapCache::Lookup(const MapCacheKey& key,
   metrics_->counter(found != nullptr ? "core.cache.hits"
                                      : "core.cache.misses")
       ->Increment();
+  flight_->Record(found != nullptr ? obs::FlightEventKind::kCacheHit
+                                   : obs::FlightEventKind::kCacheMiss,
+                  "core.cache.lookup", {{"table", key.table_name}});
   return found;
 }
 
@@ -242,6 +246,9 @@ void MapCache::EvictSession(uint64_t session_id) {
   }
   if (dropped > 0) {
     metrics_->counter("core.cache.invalidations")->Add(dropped);
+    flight_->Record(obs::FlightEventKind::kCacheEvict, "core.cache.evict_session",
+                    {{"session", std::to_string(session_id)},
+                     {"entries_dropped", std::to_string(dropped)}});
   }
 }
 
@@ -273,6 +280,9 @@ void MapCache::EvictTable(const std::string& table_name) {
   span.SetAttr("entries_dropped", dropped);
   if (dropped > 0) {
     metrics_->counter("core.cache.invalidations")->Add(dropped);
+    flight_->Record(obs::FlightEventKind::kCacheEvict, "core.cache.invalidate",
+                    {{"table", table_name},
+                     {"entries_dropped", std::to_string(dropped)}});
   }
 }
 

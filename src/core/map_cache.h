@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "core/map.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -137,10 +138,11 @@ class MapCache {
  public:
   static constexpr size_t kDefaultBudgetBytes = 64ull << 20;  // 64 MiB
 
-  /// `metrics`/`tracer` default to the process-global instances.
+  /// `metrics`/`tracer`/`flight` default to the process-global instances.
   explicit MapCache(size_t budget_bytes = kDefaultBudgetBytes,
                     obs::MetricsRegistry* metrics = nullptr,
-                    obs::Tracer* tracer = nullptr);
+                    obs::Tracer* tracer = nullptr,
+                    obs::FlightRecorder* flight = nullptr);
 
   /// The configured budget, unless BLAEU_CACHE_BYTES overrides it.
   static size_t BudgetFromEnv(size_t configured);
@@ -212,6 +214,7 @@ class MapCache {
   const size_t budget_bytes_;
   obs::MetricsRegistry* const metrics_;
   obs::Tracer* const tracer_;
+  obs::FlightRecorder* const flight_;
 
   mutable std::mutex mu_;
   std::list<Entry> entries_;  ///< most-recently-used first

@@ -5,6 +5,7 @@
 
 #include "common/json_writer.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "stats/histogram.h"
 
 namespace blaeu::core {
@@ -16,6 +17,13 @@ using monet::TablePtr;
 namespace {
 
 Rng MakeSamplerRng(uint64_t seed) { return Rng(seed ^ 0xb1aeb1aeULL); }
+
+/// The session's flight recorder: the one injected through the map options,
+/// else the process-global instance (same resolution as the other sinks).
+obs::FlightRecorder* ResolveFlight(const SessionOptions& options) {
+  return options.map.flight != nullptr ? options.map.flight
+                                       : &obs::FlightRecorder::Global();
+}
 
 /// Fingerprint of every session option that can change a built map (the
 /// map options plus the multi-scale sampler parameters and session seed).
@@ -55,7 +63,9 @@ Session::Session(TablePtr table, std::string table_name,
     cache_ = options_.cache != nullptr
                  ? options_.cache
                  : std::make_shared<MapCache>(
-                       MapCache::BudgetFromEnv(options_.cache_budget_bytes));
+                       MapCache::BudgetFromEnv(options_.cache_budget_bytes),
+                       options_.map.metrics, options_.map.tracer,
+                       options_.map.flight);
   }
 }
 
@@ -110,7 +120,15 @@ Result<DataMap> Session::MakeMap(const SelectionVector& sel,
   if (cache_ != nullptr) {
     if (std::shared_ptr<const DataMap> hit = cache_->Lookup(key, session_id_)) {
       finish(&stats_.cache_hits);
-      return *hit;
+      // The map is bit-identical to a cold build, but what THIS interaction
+      // cost is not: a warm map did no sampling, no distance evaluations and
+      // no counting. Report a fresh profile so resource accounting reflects
+      // the work actually done (the acceptance contract of obs/resource.h).
+      DataMap warm = *hit;
+      warm.resources = obs::ResourceProfile{};
+      warm.resources.cache_hits = 1;
+      warm.resources.total_seconds = stats_.last_build_seconds;
+      return warm;
     }
     stats_.cache_misses++;
   }
@@ -152,6 +170,7 @@ Result<DataMap> Session::MakeMap(const SelectionVector& sel,
   }
   BLAEU_ASSIGN_OR_RETURN(DataMap map,
                          BuildMap(*table_, working, columns, map_options));
+  if (cache_ != nullptr) map.resources.cache_misses = 1;
   // Counts must reflect the full selection, not the working sample: rescale
   // by evaluating predicates on the true selection when we pre-shrank.
   if (working.size() != sel.size()) {
@@ -204,6 +223,11 @@ Status Session::SelectTheme(size_t theme_idx) {
   state.map = std::move(map);
   state.cache_key = std::move(key);
   state.action = "select_theme(" + std::to_string(theme_idx) + ")";
+  ResolveFlight(options_)->Record(
+      obs::FlightEventKind::kNavigation, "core.session.select_theme",
+      {{"theme", std::to_string(theme_idx)},
+       {"rows", std::to_string(state.selection.size())},
+       {"cached", state.map.resources.cache_hits > 0 ? "1" : "0"}});
   history_.push_back(std::move(state));
   return Status::OK();
 }
@@ -233,6 +257,11 @@ Status Session::Zoom(int region_id) {
   state.map = std::move(map);
   state.cache_key = std::move(key);
   state.action = "zoom(" + std::to_string(region_id) + ")";
+  ResolveFlight(options_)->Record(
+      obs::FlightEventKind::kNavigation, "core.session.zoom",
+      {{"region", std::to_string(region_id)},
+       {"rows", std::to_string(state.selection.size())},
+       {"cached", state.map.resources.cache_hits > 0 ? "1" : "0"}});
   history_.push_back(std::move(state));
   return Status::OK();
 }
@@ -256,6 +285,11 @@ Status Session::Project(size_t theme_idx) {
   state.map = std::move(map);
   state.cache_key = std::move(key);
   state.action = "project(" + std::to_string(theme_idx) + ")";
+  ResolveFlight(options_)->Record(
+      obs::FlightEventKind::kNavigation, "core.session.project",
+      {{"theme", std::to_string(theme_idx)},
+       {"rows", std::to_string(state.selection.size())},
+       {"cached", state.map.resources.cache_hits > 0 ? "1" : "0"}});
   history_.push_back(std::move(state));
   return Status::OK();
 }
@@ -393,6 +427,9 @@ Status Session::Rollback() {
   }
   history_.pop_back();
   stats_.rollbacks++;
+  ResolveFlight(options_)->Record(
+      obs::FlightEventKind::kNavigation, "core.session.rollback",
+      {{"depth", std::to_string(history_.size() - 1)}});
   return Status::OK();
 }
 
@@ -403,6 +440,9 @@ Status Session::RollbackTo(size_t index) {
   }
   history_.resize(index + 1);
   stats_.rollbacks++;
+  ResolveFlight(options_)->Record(
+      obs::FlightEventKind::kNavigation, "core.session.rollback_to",
+      {{"index", std::to_string(index)}});
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #include "monet/query.h"
 
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace blaeu::monet {
@@ -34,6 +35,11 @@ Result<TablePtr> SelectProjectQuery::ExecuteOn(const Table& table) const {
   BLAEU_ASSIGN_OR_RETURN(SelectionVector sel, where.Evaluate(table));
   registry.counter("monet.query.rows_returned")
       ->Add(static_cast<int64_t>(sel.size()));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kQuery, "monet.query.execute",
+      {{"sql", ToSql()},
+       {"rows_scanned", std::to_string(table.num_rows())},
+       {"rows_returned", std::to_string(sel.size())}});
   TablePtr filtered = table.Take(sel.rows());
   if (columns.empty()) return filtered;
   return filtered->ProjectNames(columns);

@@ -31,7 +31,11 @@ void Histogram::Observe(double value) {
 }
 
 double Histogram::QuantileLocked(double q) const {
+  // Degenerate cases first, exactly: an empty histogram has no quantiles
+  // (0 by convention) and a single sample IS every quantile — the bucket
+  // midpoint must not leak through for either.
   if (count_ == 0) return 0.0;
+  if (count_ == 1 || min_ == max_) return min_;
   // Rank of the q-quantile (1-based, nearest-rank method).
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
   rank = std::max<uint64_t>(1, std::min(rank, count_));
@@ -88,6 +92,17 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::ToJson() const {

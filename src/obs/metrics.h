@@ -82,6 +82,14 @@ class Histogram {
   double max_ = 0.0;
 };
 
+/// \brief Point-in-time copy of every metric in a registry — what the
+/// exporters (obs/export.h) consume.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// \brief Named metric families. Thread-safe; metric pointers returned are
 /// stable for the registry's lifetime, so hot paths can look up once and
 /// keep the pointer.
@@ -103,6 +111,9 @@ class MetricsRegistry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   Histogram* histogram(const std::string& name);
+
+  /// Copies every metric's current value (histograms as snapshots).
+  MetricsSnapshot Snapshot() const;
 
   /// Serializes every metric:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}

@@ -1,0 +1,111 @@
+// Per-map resource accounting: what one BuildMap actually cost, beyond wall
+// clock — rows scanned, feature cells materialized, distance evaluations,
+// description-tree size, cache traffic and peak scratch memory, plus the
+// per-stage wall-time split.
+//
+// The profile travels with the map (DataMap::resources), so a serving layer
+// can answer "what did THIS interaction cost" per response, and is
+// aggregated into the MetricsRegistry under the core.map.* convention so
+// dashboards see totals. A map served from the cache carries a profile of
+// the work done for that interaction: cache_hits = 1 and everything else 0
+// — the cold build's costs are not re-reported.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace blaeu::obs {
+
+/// \brief Peak-tracking byte counter for large scratch allocations (the
+/// "instrumented arena": code charges big transient buffers as they come
+/// and go; the high-water mark is the build's real memory bill beyond the
+/// map itself). Thread-safe; stages charge from pool threads.
+class ScratchCounter {
+ public:
+  void Charge(size_t bytes) {
+    int64_t now = current_.fetch_add(static_cast<int64_t>(bytes),
+                                     std::memory_order_relaxed) +
+                  static_cast<int64_t>(bytes);
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Release(size_t bytes) {
+    current_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  }
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// \brief RAII charge against a ScratchCounter (null counter = no-op).
+class ScratchCharge {
+ public:
+  ScratchCharge(ScratchCounter* counter, size_t bytes)
+      : counter_(counter), bytes_(bytes) {
+    if (counter_ != nullptr) counter_->Charge(bytes_);
+  }
+  ~ScratchCharge() {
+    if (counter_ != nullptr) counter_->Release(bytes_);
+  }
+  ScratchCharge(const ScratchCharge&) = delete;
+  ScratchCharge& operator=(const ScratchCharge&) = delete;
+
+ private:
+  ScratchCounter* counter_;
+  size_t bytes_;
+};
+
+/// \brief Wall time of one pipeline stage.
+struct StageCost {
+  std::string name;      ///< "sample", "preprocess", "cluster", ...
+  double seconds = 0.0;
+};
+
+/// \brief What one map build cost. All counts are zero for a map served
+/// from the cache (except cache_hits).
+struct ResourceProfile {
+  /// Rows read out of the table to build the map: the sampled rows fed
+  /// through preprocessing and clustering.
+  int64_t rows_scanned = 0;
+  /// Rows of the FULL selection evaluated while counting region sizes
+  /// (one pass per tree level).
+  int64_t rows_counted = 0;
+  /// Cells of the preprocessed feature matrix (rows x features).
+  int64_t cells_materialized = 0;
+  /// Metric-space distance evaluations (distance matrix, CLARA assignment,
+  /// Monte-Carlo silhouette). Zero for algorithms that never call the
+  /// pairwise metric (k-means works on the feature matrix directly).
+  int64_t distance_evaluations = 0;
+  /// Nodes of the trained CART description tree (= map regions).
+  int64_t cart_nodes = 0;
+  /// Whole-map cache traffic for the interaction that produced this map.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// High-water mark of instrumented scratch allocations (feature matrix,
+  /// distance matrix, per-region row sets).
+  int64_t peak_scratch_bytes = 0;
+  /// End-to-end build wall time; stages[] splits it.
+  double total_seconds = 0.0;
+  std::vector<StageCost> stages;
+
+  /// {"rows_scanned":...,...,"stages":{"sample":...,...}}
+  std::string ToJson() const;
+
+  /// Aggregates this profile into `registry`: counters
+  /// core.map.{rows_scanned,rows_counted,cells_materialized,
+  /// distance_evaluations,cart_nodes}, histogram
+  /// core.map.scratch_peak_bytes, and one histogram
+  /// core.map.stage.<name>_seconds per stage.
+  void ReportTo(MetricsRegistry* registry) const;
+};
+
+}  // namespace blaeu::obs

@@ -9,15 +9,13 @@
 
 namespace blaeu::obs {
 
-namespace {
-
-/// Small stable per-thread id (Chrome trace wants integers, and
-/// std::thread::id does not serialize usefully).
 uint64_t ThisThreadId() {
   static std::atomic<uint64_t> next{1};
   thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+
+namespace {
 
 /// Stack of open spans per (thread, tracer). Lexical nesting means RAII
 /// spans close LIFO, so a plain vector is enough; entries from different

@@ -26,6 +26,11 @@
 
 namespace blaeu::obs {
 
+/// Small stable integer id of the calling thread (Chrome trace wants
+/// integers, and std::thread::id does not serialize usefully). Shared by
+/// the tracer and the flight recorder so their records correlate.
+uint64_t ThisThreadId();
+
 /// \brief One finished (or still open) timed region.
 struct SpanRecord {
   std::string name;

@@ -89,6 +89,27 @@ TEST(HistogramTest, QuantilesClampToObservedRange) {
   EXPECT_DOUBLE_EQ(s.p99, 0.5);
 }
 
+TEST(HistogramTest, SingleSampleQuantilesAreTheSample) {
+  // A one-observation histogram must report the observation itself, not a
+  // log-bucket midpoint (the value would otherwise be off by up to 2x).
+  Histogram h;
+  h.Observe(0.0123);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0123);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0123);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0123);
+}
+
+TEST(HistogramTest, IdenticalSamplesQuantilesAreExact) {
+  // Same degenerate case with count > 1: min == max pins every quantile.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Observe(0.0271828);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0271828);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0271828);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0271828);
+}
+
 TEST(HistogramTest, NegativeAndNanInputsAreSafe) {
   Histogram h;
   h.Observe(-1.0);  // clamped to zero

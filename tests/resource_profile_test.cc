@@ -1,0 +1,200 @@
+// Unit tests for per-map resource accounting: a cold build reports the
+// work it did (sampled rows, feature cells, distance evaluations, tree
+// size, scratch peak, stage times), a cached warm map reports cache_hits=1
+// and ZERO work — the acceptance contract of obs/resource.h — and profiles
+// aggregate into the metrics registry under core.map.*.
+#include "obs/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/map_builder.h"
+#include "core/navigation.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "workloads/gaussian.h"
+
+namespace blaeu::core {
+namespace {
+
+workloads::Dataset MakeMixture(size_t rows = 800) {
+  workloads::MixtureSpec spec;
+  spec.rows = rows;
+  spec.num_clusters = 3;
+  spec.dims = 4;
+  auto data = workloads::MakeGaussianMixture(spec);
+  return data;
+}
+
+TEST(ResourceProfileTest, ColdBuildAccountsItsWork) {
+  auto data = MakeMixture();
+  obs::MetricsRegistry metrics;
+  MapOptions opt;
+  opt.sample_size = 500;
+  opt.fixed_k = 3;
+  opt.metrics = &metrics;
+  auto map = BuildMap(*data.table, opt);
+  ASSERT_TRUE(map.ok());
+  const obs::ResourceProfile& res = map->resources;
+
+  EXPECT_EQ(res.rows_scanned, static_cast<int64_t>(map->sample_size));
+  EXPECT_EQ(res.rows_scanned, 500);
+  EXPECT_GT(res.cells_materialized, 0);
+  EXPECT_GT(res.distance_evaluations, 0);
+  EXPECT_EQ(res.cart_nodes, static_cast<int64_t>(map->regions.size()));
+  EXPECT_GT(res.rows_counted, 0);
+  EXPECT_GT(res.peak_scratch_bytes, 0);
+  EXPECT_GT(res.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res.total_seconds, map->build_seconds);
+  // No cache in a bare BuildMap call.
+  EXPECT_EQ(res.cache_hits, 0);
+  EXPECT_EQ(res.cache_misses, 0);
+
+  // Every pipeline stage shows up in the wall-time split.
+  std::vector<std::string> names;
+  for (const obs::StageCost& s : res.stages) names.push_back(s.name);
+  for (const char* expected :
+       {"sample", "preprocess", "cluster", "describe", "assemble", "count"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing stage " << expected;
+  }
+
+  // The profile also lands in the injected registry.
+  obs::MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters.at("core.map.rows_scanned"), res.rows_scanned);
+  EXPECT_EQ(snap.counters.at("core.map.distance_evaluations"),
+            res.distance_evaluations);
+  EXPECT_EQ(snap.counters.at("core.map.cart_nodes"), res.cart_nodes);
+  EXPECT_EQ(snap.histograms.at("core.map.scratch_peak_bytes").count, 1u);
+  EXPECT_GT(snap.histograms.at("core.map.stage.preprocess_seconds").count, 0u);
+}
+
+TEST(ResourceProfileTest, SmallSampleScansEveryRow) {
+  auto data = MakeMixture(300);
+  MapOptions opt;
+  opt.sample_size = 2000;  // larger than the table: no sampling happens
+  opt.fixed_k = 3;
+  auto map = BuildMap(*data.table, opt);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->resources.rows_scanned, 300);
+}
+
+// The acceptance criterion of the PR: a map served warm from the cache
+// reports cache_hits = 1 and ZERO rows scanned, while the cold build of
+// the same state reports the sampled row count.
+TEST(ResourceProfileTest, WarmCacheHitReportsZeroWork) {
+  auto data = MakeMixture();
+  SessionOptions opt;
+  opt.map.sample_size = 500;
+  opt.map.fixed_k = 3;
+  opt.cache_enabled = true;
+  auto session = Session::Start(data.table, "mixture", opt);
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+
+  // The initial map was built cold through the cache: a miss, real work.
+  const obs::ResourceProfile& cold = s.current().map.resources;
+  EXPECT_EQ(cold.cache_misses, 1);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.rows_scanned, 500);
+  EXPECT_GT(cold.distance_evaluations, 0);
+
+  // Navigate away and back: the rebuilt root state is a pure cache hit.
+  std::vector<int> leaves = s.current().map.LeafIds();
+  ASSERT_FALSE(leaves.empty());
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  ASSERT_TRUE(s.Rollback().ok());
+  ASSERT_TRUE(s.SelectTheme(0).ok());  // same state as start -> cache hit
+
+  const obs::ResourceProfile& warm = s.current().map.resources;
+  EXPECT_EQ(warm.cache_hits, 1);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.rows_scanned, 0);
+  EXPECT_EQ(warm.cells_materialized, 0);
+  EXPECT_EQ(warm.distance_evaluations, 0);
+  EXPECT_EQ(warm.rows_counted, 0);
+  EXPECT_EQ(warm.peak_scratch_bytes, 0);
+  EXPECT_TRUE(warm.stages.empty());
+  // The map itself is still the full, bit-identical artifact.
+  EXPECT_EQ(s.current().map.regions.size(),
+            static_cast<size_t>(cold.cart_nodes));
+  EXPECT_EQ(s.stats().cache_hits, 1u);
+}
+
+TEST(ResourceProfileTest, CacheDisabledReportsNoCacheTraffic) {
+  auto data = MakeMixture();
+  SessionOptions opt;
+  opt.map.sample_size = 500;
+  opt.map.fixed_k = 3;
+  opt.cache_enabled = false;
+  auto session = Session::Start(data.table, "mixture", opt);
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+  EXPECT_EQ(s.current().map.resources.cache_hits, 0);
+  EXPECT_EQ(s.current().map.resources.cache_misses, 0);
+  EXPECT_GT(s.current().map.resources.rows_scanned, 0);
+}
+
+TEST(ResourceProfileTest, ToJsonCarriesCountsAndStages) {
+  obs::ResourceProfile res;
+  res.rows_scanned = 500;
+  res.distance_evaluations = 1234;
+  res.stages.push_back({"sample", 0.001});
+  res.stages.push_back({"cluster", 0.002});
+  std::string json = res.ToJson();
+  EXPECT_NE(json.find("\"rows_scanned\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"distance_evaluations\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"sample\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+}
+
+TEST(ScratchCounterTest, TracksPeakNotCurrent) {
+  obs::ScratchCounter counter;
+  counter.Charge(100);
+  {
+    obs::ScratchCharge charge(&counter, 400);
+    EXPECT_EQ(counter.current(), 500);
+    EXPECT_EQ(counter.peak(), 500);
+  }
+  EXPECT_EQ(counter.current(), 100);
+  EXPECT_EQ(counter.peak(), 500);
+  counter.Release(100);
+  EXPECT_EQ(counter.current(), 0);
+  EXPECT_EQ(counter.peak(), 500);
+  // Null counter: the RAII charge is a no-op, not a crash.
+  obs::ScratchCharge noop(nullptr, 1000);
+}
+
+// Flight recorder integration: a session's builds and navigation leave a
+// readable trail in an injected recorder.
+TEST(ResourceProfileTest, SessionLeavesFlightTrail) {
+  auto data = MakeMixture();
+  obs::FlightRecorder flight(128);
+  SessionOptions opt;
+  opt.map.sample_size = 500;
+  opt.map.fixed_k = 3;
+  opt.map.flight = &flight;
+  auto session = Session::Start(data.table, "mixture", opt);
+  ASSERT_TRUE(session.ok());
+  Session s = std::move(session).ValueOrDie();
+  std::vector<int> leaves = s.current().map.LeafIds();
+  ASSERT_FALSE(leaves.empty());
+  ASSERT_TRUE(s.Zoom(leaves[0]).ok());
+  ASSERT_TRUE(s.Rollback().ok());
+
+  bool saw_build = false, saw_zoom = false, saw_rollback = false;
+  for (const obs::FlightEvent& e : flight.Tail()) {
+    if (e.kind == obs::FlightEventKind::kMapBuilt) saw_build = true;
+    if (e.name == "core.session.zoom") saw_zoom = true;
+    if (e.name == "core.session.rollback") saw_rollback = true;
+  }
+  EXPECT_TRUE(saw_build);
+  EXPECT_TRUE(saw_zoom);
+  EXPECT_TRUE(saw_rollback);
+}
+
+}  // namespace
+}  // namespace blaeu::core
