@@ -15,9 +15,12 @@
 //   BENCH_map_pipeline_navigation.json — cold vs. warm zoom sequence (the
 //                                        map cache's interaction-time win)
 //   BENCH_map_pipeline_regression.json — exact p50/p95 of the operating-point
-//                                        build; compared against
-//                                        bench/baselines/ by
+//                                        build (total + per-stage); compared
+//                                        against bench/baselines/ by
 //                                        tools/check_bench_regression (CI gate)
+//   BENCH_map_pipeline_categorical.json— the same regression block for the
+//                                        categorical-heavy Hollywood point
+//                                        (string-path wins show up here)
 //   BENCH_map_pipeline_report.html     — self-contained HTML perf report
 //   BENCH_map_pipeline_openmetrics.txt — Prometheus/OpenMetrics exposition
 // so the dominant pipeline stage is known before optimizing anything and
@@ -37,6 +40,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "workloads/hollywood.h"
 #include "workloads/lofar.h"
 
 using namespace blaeu;
@@ -54,6 +58,26 @@ const workloads::Dataset& LofarCached(size_t rows) {
     it = cache->emplace(rows, workloads::MakeLofar(spec)).first;
   }
   return it->second;
+}
+
+/// Cache of generated Hollywood tables (the categorical-heavy bench point:
+/// genre/studio/title strings plus a small-domain year column).
+const workloads::Dataset& HollywoodCached(size_t rows) {
+  static std::map<size_t, workloads::Dataset>* cache =
+      new std::map<size_t, workloads::Dataset>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    workloads::HollywoodSpec spec;
+    spec.rows = rows;
+    it = cache->emplace(rows, workloads::MakeHollywood(spec)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::string> AllColumns(const monet::Table& table) {
+  std::vector<std::string> cols;
+  for (const auto& f : table.schema().fields()) cols.push_back(f.name);
+  return cols;
 }
 
 std::vector<std::string> FluxColumns(const monet::Table& table) {
@@ -106,6 +130,31 @@ void BM_MapUnsampled(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(state.range(0));
 }
 
+// Categorical-heavy workload: Hollywood's schema is dominated by string
+// columns (title/genre/studio) plus a small-domain year, so preprocessing
+// spends its time in categorical ranking and dummy coding rather than
+// normalizer fits. String-path wins show up here, not in LOFAR's mostly
+// numeric profile.
+void BM_MapCategorical(benchmark::State& state) {
+  const auto& data = HollywoodCached(static_cast<size_t>(state.range(0)));
+  auto columns = AllColumns(*data.table);
+  core::MapOptions opt;
+  opt.sample_size = 2000;
+  opt.fixed_k = 4;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    ScopedTimer latency(&obs::MetricsRegistry::Global(),
+                        "bench.map_categorical_seconds");
+    opt.seed = seed++;
+    auto map = core::BuildMap(
+        *data.table, monet::SelectionVector::All(data.table->num_rows()),
+        columns, opt);
+    if (!map.ok()) state.SkipWithError(map.status().ToString().c_str());
+    benchmark::DoNotOptimize(map);
+  }
+  state.counters["rows"] = static_cast<double>(state.range(0));
+}
+
 // The full pipeline stage split at the operating point: preprocessing vs
 // clustering vs description is visible via map metadata, so this reports
 // the end-to-end figure per table size.
@@ -123,6 +172,12 @@ BENCHMARK(BM_MapUnsampled)
     ->Arg(32000)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
+
+BENCHMARK(BM_MapCategorical)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 /// One traced build at the paper's operating point; writes the per-stage
 /// breakdown + chrome trace next to the benchmark output.
@@ -351,19 +406,21 @@ void EmitNavigationBench() {
               w.str().c_str());
 }
 
-/// The CI perf-regression point: core.map.build_seconds at the LOFAR
-/// operating point (32k rows, sample 2000, fixed k=4, 1 thread), kReps
-/// repetitions after one warm-up. p50/p95 are exact nearest-rank order
-/// statistics over the raw wall-clock samples — the log-scale metrics
-/// histogram quantizes to power-of-two buckets (~2x relative error), far
-/// too coarse for a 25% gate. tools/check_bench_regression compares the
-/// emitted JSON against the committed bench/baselines/ snapshot.
-void EmitRegressionPoint() {
-  constexpr size_t kRows = 32000;
+/// The CI perf-regression point: core.map.build_seconds at an operating
+/// point (32k rows, sample 2000, fixed k=4, 1 thread), kReps repetitions
+/// after one warm-up. p50/p95 are exact nearest-rank order statistics over
+/// the raw wall-clock samples — the log-scale metrics histogram quantizes
+/// to power-of-two buckets (~2x relative error), far too coarse for a 25%
+/// gate. Each rep also runs under its own tracer so the per-stage
+/// breakdown (preprocess/cluster/describe/count/...) gets the same exact
+/// quantile treatment; tools/check_bench_regression gates both the total
+/// p50 and the preprocess-stage p50 against the committed bench/baselines/
+/// snapshot.
+void EmitRegressionPointFor(const char* workload, const monet::Table& table,
+                            const std::vector<std::string>& columns,
+                            const char* out_path) {
   constexpr int kReps = 15;
-  const auto& data = LofarCached(kRows);
-  auto columns = FluxColumns(*data.table);
-  auto sel = monet::SelectionVector::All(data.table->num_rows());
+  auto sel = monet::SelectionVector::All(table.num_rows());
 
   core::MapOptions opt;
   opt.sample_size = 2000;
@@ -371,7 +428,7 @@ void EmitRegressionPoint() {
   opt.seed = 7;
   opt.num_threads = 1;
 
-  auto warm = core::BuildMap(*data.table, sel, columns, opt);
+  auto warm = core::BuildMap(table, sel, columns, opt);
   if (!warm.ok()) {
     std::fprintf(stderr, "regression point build failed: %s\n",
                  warm.status().ToString().c_str());
@@ -379,42 +436,87 @@ void EmitRegressionPoint() {
   }
   std::vector<double> samples;
   samples.reserve(kReps);
+  // Stage-name -> wall-clock samples, from the direct children of the
+  // core.map.build span (one tracer per rep keeps the spans separable).
+  std::map<std::string, std::vector<double>> stage_samples;
   for (int rep = 0; rep < kReps; ++rep) {
+    obs::Tracer tracer;
+    tracer.set_enabled(true);
+    opt.tracer = &tracer;
     Timer timer;
-    auto map = core::BuildMap(*data.table, sel, columns, opt);
+    auto map = core::BuildMap(table, sel, columns, opt);
     if (!map.ok()) {
       std::fprintf(stderr, "regression point build failed: %s\n",
                    map.status().ToString().c_str());
       return;
     }
     samples.push_back(timer.ElapsedSeconds());
+    std::vector<obs::SpanRecord> spans = tracer.Finished();
+    int build_id = -1;
+    for (const auto& s : spans) {
+      if (s.name == "core.map.build") build_id = s.id;
+    }
+    for (const auto& s : spans) {
+      if (s.parent != build_id || s.duration_ns < 0) continue;
+      // "core.map.preprocess" -> "preprocess"
+      std::string short_name = s.name.rfind("core.map.", 0) == 0
+                                   ? s.name.substr(9)
+                                   : s.name;
+      stage_samples[short_name].push_back(static_cast<double>(s.duration_ns) /
+                                          1e9);
+    }
   }
-  std::sort(samples.begin(), samples.end());
-  auto nearest_rank = [&](double q) {
-    size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size()));
-    if (rank >= samples.size()) rank = samples.size() - 1;
-    return samples[rank];
+  opt.tracer = nullptr;
+  auto nearest_rank = [](std::vector<double>& v, double q) {
+    std::sort(v.begin(), v.end());
+    size_t rank = static_cast<size_t>(q * static_cast<double>(v.size()));
+    if (rank >= v.size()) rank = v.size() - 1;
+    return v[rank];
   };
 
   JsonWriter w;
   w.BeginObject();
   w.KV("bench", "map_pipeline_regression");
   w.KV("metric", "core.map.build_seconds");
-  w.KV("rows", kRows);
+  w.KV("workload", workload);
+  w.KV("rows", table.num_rows());
   w.KV("sample_size", opt.sample_size);
   w.KV("k", opt.fixed_k);
   w.KV("threads", static_cast<int64_t>(1));
   w.KV("reps", kReps);
-  w.KV("p50_seconds", nearest_rank(0.50));
-  w.KV("p95_seconds", nearest_rank(0.95));
+  w.KV("p50_seconds", nearest_rank(samples, 0.50));
+  w.KV("p95_seconds", nearest_rank(samples, 0.95));
   w.KV("min_seconds", samples.front());
   w.KV("max_seconds", samples.back());
+  w.Key("stages").BeginObject();
+  for (auto& [name, stage] : stage_samples) {
+    if (stage.size() < static_cast<size_t>(kReps)) continue;  // partial span
+    w.Key(name).BeginObject();
+    w.KV("p50_seconds", nearest_rank(stage, 0.50));
+    w.KV("p95_seconds", nearest_rank(stage, 0.95));
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
 
-  std::ofstream out("BENCH_map_pipeline_regression.json");
+  std::ofstream out(out_path);
   out << w.str() << "\n";
-  std::printf("%s\nwrote BENCH_map_pipeline_regression.json\n",
-              w.str().c_str());
+  std::printf("%s\nwrote %s\n", w.str().c_str(), out_path);
+}
+
+void EmitRegressionPoint() {
+  const auto& data = LofarCached(32000);
+  EmitRegressionPointFor("lofar", *data.table, FluxColumns(*data.table),
+                         "BENCH_map_pipeline_regression.json");
+}
+
+/// The categorical-heavy twin of the regression point: Hollywood 32k rows,
+/// same sample size / k / thread budget. Not a CI gate (no committed
+/// baseline yet) but the artifact makes string-path wins visible.
+void EmitCategoricalPoint() {
+  const auto& data = HollywoodCached(32000);
+  EmitRegressionPointFor("hollywood", *data.table, AllColumns(*data.table),
+                         "BENCH_map_pipeline_categorical.json");
 }
 
 /// The process-global metrics accumulated across every bench above, as a
@@ -442,6 +544,7 @@ int main(int argc, char** argv) {
   EmitThreadScaling();
   EmitNavigationBench();
   EmitRegressionPoint();
+  EmitCategoricalPoint();
   EmitPerfReport();
   return 0;
 }

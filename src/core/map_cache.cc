@@ -45,6 +45,11 @@ uint64_t FingerprintTable(const monet::Table& table) {
   return h;
 }
 
+// Output-affecting knobs only, enumerated explicitly. Deliberately
+// excluded: thread counts, observability sinks, and
+// preprocess.use_dictionary — the dictionary fast paths are byte-identical
+// to the string paths (dictionaries are derived data), so two runs
+// differing only in that flag must share a cache entry.
 uint64_t FingerprintMapOptions(const MapOptions& o) {
   uint64_t h = kFnvOffset;
   h = HashMix(h, o.sample_size);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <unordered_map>
 
 #include "common/parallel.h"
+#include "common/string_util.h"
 #include "monet/column_stats.h"
 #include "stats/normalize.h"
 
@@ -15,6 +17,7 @@ namespace blaeu::core {
 using monet::Column;
 using monet::ColumnStats;
 using monet::DataType;
+using monet::Dictionary;
 using monet::SelectionVector;
 using monet::Table;
 
@@ -34,6 +37,9 @@ size_t PreprocessPlan::ApproxBytes() const {
       (void)value;
       bytes += key.capacity() + sizeof(int) + 32;  // node overhead estimate
     }
+    // The dictionary itself is owned by the table, not the plan; only the
+    // rank vector is plan-private.
+    bytes += plan.dict_ranks.capacity() * sizeof(int32_t);
   }
   for (const FeatureInfo& f : feature_info) {
     bytes += sizeof(FeatureInfo) + f.source_name.capacity() +
@@ -47,23 +53,88 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
-/// Top categories of a column over the selection, most frequent first.
-std::vector<std::string> TopCategories(const Column& col,
-                                       const SelectionVector& sel,
-                                       size_t max_categories) {
-  std::unordered_map<std::string, size_t> counts;
-  for (uint32_t r : sel.rows()) {
-    if (!col.IsNull(r)) ++counts[col.GetValue(r).ToString()];
-  }
-  std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
-                                                     counts.end());
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+/// (rendered value, count) pairs ranked count-descending, ties broken by the
+/// rendered string ascending — the ordering every category list in the
+/// system uses.
+using RankedCounts = std::vector<std::pair<std::string, size_t>>;
+
+void RankCounts(RankedCounts* ranked) {
+  std::sort(ranked->begin(), ranked->end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
   });
+}
+
+/// Top categories of a column over the selection, most frequent first.
+///
+/// Each type has a fast path that counts on the native payload and renders
+/// once per DISTINCT value at the end, instead of materializing a string per
+/// cell. Every path produces the same (rendering, count) multiset as the
+/// generic string path, so the ranked output is byte-identical:
+///  - strings: one dense counter slot per dictionary code;
+///  - int64: value-keyed (std::to_string is injective on int64);
+///  - double: bit-pattern-keyed per row, then merged by rendering (%.6g is
+///    NOT injective, so distinct bit patterns can share one category);
+///  - bool: two slots.
+std::vector<std::string> TopCategories(const Column& col,
+                                       const SelectionVector& sel,
+                                       size_t max_categories,
+                                       bool use_dictionary) {
+  RankedCounts ranked;
+  if (!use_dictionary) {
+    std::unordered_map<std::string, size_t> counts;
+    for (uint32_t r : sel.rows()) {
+      if (!col.IsNull(r)) ++counts[col.GetValue(r).ToString()];
+    }
+    ranked.assign(counts.begin(), counts.end());
+  } else if (col.type() == DataType::kString) {
+    const std::vector<int32_t>& codes = col.codes();
+    const Dictionary& dict = *col.dictionary();
+    std::vector<size_t> counts(dict.size(), 0);
+    for (uint32_t r : sel.rows()) {
+      const int32_t c = codes[r];
+      if (c != Dictionary::kNullCode) ++counts[static_cast<size_t>(c)];
+    }
+    for (size_t code = 0; code < counts.size(); ++code) {
+      if (counts[code] > 0) {
+        ranked.emplace_back(dict.value(static_cast<int32_t>(code)),
+                            counts[code]);
+      }
+    }
+  } else if (col.type() == DataType::kInt64) {
+    std::unordered_map<int64_t, size_t> counts;
+    for (uint32_t r : sel.rows()) {
+      if (!col.IsNull(r)) ++counts[col.ints()[r]];
+    }
+    for (const auto& [v, n] : counts) ranked.emplace_back(std::to_string(v), n);
+  } else if (col.type() == DataType::kDouble) {
+    std::unordered_map<uint64_t, size_t> bit_counts;
+    for (uint32_t r : sel.rows()) {
+      if (col.IsNull(r)) continue;
+      uint64_t bits;
+      const double d = col.doubles()[r];
+      std::memcpy(&bits, &d, sizeof(bits));
+      ++bit_counts[bits];
+    }
+    std::unordered_map<std::string, size_t> merged;
+    for (const auto& [bits, n] : bit_counts) {
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      merged[FormatDouble(d)] += n;
+    }
+    ranked.assign(merged.begin(), merged.end());
+  } else {  // kBool
+    size_t counts[2] = {0, 0};
+    for (uint32_t r : sel.rows()) {
+      if (!col.IsNull(r)) ++counts[col.bools()[r] ? 1 : 0];
+    }
+    if (counts[1] > 0) ranked.emplace_back("true", counts[1]);
+    if (counts[0] > 0) ranked.emplace_back("false", counts[0]);
+  }
+  RankCounts(&ranked);
   std::vector<std::string> out;
   for (size_t i = 0; i < ranked.size() && i < max_categories; ++i) {
-    out.push_back(ranked[i].first);
+    out.push_back(std::move(ranked[i].first));
   }
   return out;
 }
@@ -91,6 +162,12 @@ Result<PreprocessPlan> PlanPreprocess(const Table& table,
     return std::find(keys.begin(), keys.end(), c) != keys.end();
   };
 
+  // Planning only compares `distinct` against small thresholds and reads the
+  // moments, so the stats pass can stop counting distincts past the largest
+  // threshold it will be compared to.
+  const size_t distinct_cap =
+      std::max<size_t>(options.categorical_distinct_threshold, 1);
+
   // Each column's plan (stats, category ranking, normalizer fit) is a full
   // pass over the selection and independent of the others, so columns are
   // planned in parallel and collected in schema order afterwards.
@@ -102,7 +179,10 @@ Result<PreprocessPlan> PlanPreprocess(const Table& table,
         for (size_t c = col_lo; c < col_hi; ++c) {
           if (is_key(c)) continue;
           const Column& col = *table.column(c);
-          ColumnStats cs = monet::ComputeColumnStats(col, sel);
+          ColumnStats cs =
+              options.use_dictionary
+                  ? monet::ComputeColumnStatsBounded(col, sel, distinct_cap)
+                  : monet::ComputeColumnStats(col, sel);
           if (cs.count == cs.null_count) continue;  // all-null: no encoding
           if (cs.distinct <= 1) continue;           // constant: no signal
           ColumnPlan plan;
@@ -110,10 +190,24 @@ Result<PreprocessPlan> PlanPreprocess(const Table& table,
           plan.categorical = monet::LooksCategorical(
               col, cs, options.categorical_distinct_threshold);
           if (plan.categorical) {
-            plan.categories = TopCategories(col, sel, options.max_categories);
+            plan.categories = TopCategories(col, sel, options.max_categories,
+                                            options.use_dictionary);
             if (options.encoding == CategoricalEncoding::kGower) {
               for (size_t i = 0; i < plan.categories.size(); ++i) {
                 plan.code[plan.categories[i]] = static_cast<int>(i);
+              }
+            }
+            if (options.use_dictionary &&
+                col.type() == DataType::kString) {
+              // Code-indexed category ranks: the per-cell fill becomes two
+              // array loads. Every kept category is in the dictionary (it
+              // was counted from the column).
+              plan.dict = col.dictionary();
+              plan.dict_ranks.assign(plan.dict->size(), -1);
+              for (size_t i = 0; i < plan.categories.size(); ++i) {
+                const int32_t code = plan.dict->Find(plan.categories[i]);
+                plan.dict_ranks[static_cast<size_t>(code)] =
+                    static_cast<int32_t>(i);
               }
             }
           } else {
@@ -160,6 +254,31 @@ Result<PreprocessPlan> PlanPreprocess(const Table& table,
   return out;
 }
 
+namespace {
+
+/// Per-column state resolved once per FillFeatures call, so the row loop
+/// never re-derives it: the column pointer, and — when the plan's dictionary
+/// is the column's dictionary — the raw code payload for the allocation-free
+/// path. `codes` is null when the string path must be used (non-string
+/// column, use_dictionary off at plan time, or a column rebuilt with a
+/// different dictionary).
+struct ColumnFill {
+  const ColumnPlan* cp;
+  const Column* col;
+  const int32_t* codes = nullptr;
+};
+
+/// Code -> category rank under a plan, bounds-checked so codes interned
+/// after planning read as unranked instead of out-of-bounds.
+inline int32_t RankOfCode(const ColumnPlan& cp, int32_t code) {
+  if (code < 0 || static_cast<size_t>(code) >= cp.dict_ranks.size()) {
+    return -1;
+  }
+  return cp.dict_ranks[static_cast<size_t>(code)];
+}
+
+}  // namespace
+
 Result<PreprocessedData> FillFeatures(const Table& table,
                                       const SelectionVector& sel,
                                       const PreprocessPlan& plan,
@@ -181,6 +300,20 @@ Result<PreprocessedData> FillFeatures(const Table& table,
   out.features = stats::Matrix(n, dims);
   const bool gower = plan.encoding == CategoricalEncoding::kGower;
 
+  std::vector<ColumnFill> fills;
+  fills.reserve(plan.columns.size());
+  for (const ColumnPlan& cp : plan.columns) {
+    ColumnFill fill;
+    fill.cp = &cp;
+    fill.col = table.column(cp.column).get();
+    if (cp.categorical && cp.dict != nullptr &&
+        fill.col->type() == DataType::kString &&
+        fill.col->dictionary() == cp.dict) {
+      fill.codes = fill.col->codes().data();
+    }
+    fills.push_back(fill);
+  }
+
   // Fill one matrix row per selected tuple. Rows are disjoint, so the loop
   // parallelizes with bit-identical output at any thread count.
   ParallelFor(
@@ -190,14 +323,33 @@ Result<PreprocessedData> FillFeatures(const Table& table,
           uint32_t r = sel[i];
           double* row = out.features.MutableRowPtr(i);
           size_t f = 0;
-          for (const ColumnPlan& cp : plan.columns) {
-            const Column& col = *table.column(cp.column);
+          for (const ColumnFill& fill : fills) {
+            const ColumnPlan& cp = *fill.cp;
+            const Column& col = *fill.col;
             if (!cp.categorical) {
               if (col.IsNull(r)) {
                 row[f++] = gower ? kNaN : cp.impute;
               } else {
                 row[f++] = cp.normalizer.Apply(col.GetNumeric(r));
               }
+              continue;
+            }
+            if (fill.codes != nullptr) {
+              // Dictionary fast path: two array loads per cell, no string
+              // materialization and no hashing. kNullCode ranks as -1.
+              const int32_t rank = RankOfCode(cp, fill.codes[r]);
+              if (gower) {
+                row[f++] = col.IsNull(r)
+                               ? kNaN
+                               : (rank >= 0 ? static_cast<double>(rank)
+                                            : static_cast<double>(
+                                                  cp.categories.size()));
+                continue;
+              }
+              const size_t k = cp.categories.size();
+              for (size_t j = 0; j < k; ++j) row[f + j] = 0.0;
+              if (rank >= 0) row[f + static_cast<size_t>(rank)] = 1.0;
+              f += k;
               continue;
             }
             if (gower) {

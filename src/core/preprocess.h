@@ -44,6 +44,12 @@ struct PreprocessOptions {
   /// (common/parallel.h: 0 = process default, 1 = serial). The feature
   /// matrix is bit-identical at any value.
   size_t num_threads = 0;
+  /// Test knob: route categorical planning and filling through the
+  /// dictionary-code fast paths (default) or the generic string paths. The
+  /// output is byte-identical either way — the flag exists so tests can
+  /// assert exactly that. Not part of the map-options fingerprint
+  /// (core/map_cache.cc FingerprintMapOptions): it cannot change any output.
+  bool use_dictionary = true;
 
   // -- Reuse hooks (see core/map_cache.h for the correctness contract) --
 
@@ -94,6 +100,20 @@ struct ColumnPlan {
   stats::Normalizer normalizer = stats::Normalizer::ZScore({});
   std::unordered_map<std::string, int> code;  ///< kGower category codes
   double impute = 0.0;      ///< numeric NaN replacement (normalized mean)
+
+  // -- Dictionary fast path (string columns, use_dictionary) --
+
+  /// The dictionary `dict_ranks` was built against. FillFeatures takes the
+  /// code-indexed path only when the column at fill time shares this exact
+  /// dictionary (pointer identity) — otherwise codes would not be
+  /// comparable and it falls back to the string path. Derived tables
+  /// (Take/Project) share their source's dictionaries, so reuse across
+  /// Zoom/Project keeps the fast path.
+  monet::DictionaryPtr dict;
+  /// Dictionary code -> rank in `categories` (-1 = not a kept category).
+  /// Codes appended to the dictionary after planning index past the end and
+  /// are treated as unranked.
+  std::vector<int32_t> dict_ranks;
 };
 
 /// \brief The reusable product of the planning phase: everything Preprocess

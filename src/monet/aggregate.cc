@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/string_util.h"
+
 namespace blaeu::monet {
 
 const char* AggFnName(AggFn fn) {
@@ -44,8 +46,54 @@ struct AggState {
   double sum = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
-  std::unordered_set<std::string> distinct;
+  std::unordered_set<std::string> distinct;       // non-string columns
+  std::unordered_set<int32_t> distinct_codes;     // string columns
 };
+
+/// Appends an unambiguous encoding of one key cell to `out`: a type tag
+/// byte followed by a fixed-width payload (or a length-delimited rendering
+/// for doubles). Unlike a separator-joined rendering, no cell content can
+/// collide with the framing — a value containing the separator byte, or the
+/// literal string "NULL", used to merge distinct key tuples.
+void AppendKeyCell(const Column& col, uint32_t row, std::string* out) {
+  auto append_raw = [out](const void* p, size_t n) {
+    out->append(reinterpret_cast<const char*>(p), n);
+  };
+  if (col.IsNull(row)) {
+    out->push_back('n');
+    return;
+  }
+  switch (col.type()) {
+    case DataType::kString: {
+      // Rows of one column share one dictionary, so code identity is
+      // string identity: 4 bytes, no rendering.
+      out->push_back('s');
+      const int32_t code = col.codes()[row];
+      append_raw(&code, sizeof(code));
+      break;
+    }
+    case DataType::kInt64: {
+      out->push_back('i');
+      const int64_t v = col.ints()[row];
+      append_raw(&v, sizeof(v));
+      break;
+    }
+    case DataType::kBool:
+      out->push_back(col.bools()[row] ? 't' : 'f');
+      break;
+    case DataType::kDouble: {
+      // Doubles group by rendering (the historical semantics — %.6g merges
+      // values that print alike), so the payload is the rendered string
+      // with an explicit length prefix.
+      out->push_back('d');
+      const std::string repr = FormatDouble(col.doubles()[row]);
+      const uint32_t len = static_cast<uint32_t>(repr.size());
+      append_raw(&len, sizeof(len));
+      out->append(repr);
+      break;
+    }
+  }
+}
 
 }  // namespace
 
@@ -88,18 +136,15 @@ Result<TablePtr> GroupBy(const Table& table, const SelectionVector& rows,
   std::vector<std::vector<Value>> group_keys;
   std::vector<std::vector<AggState>> group_states;
 
+  std::string key_repr;
   for (uint32_t r : rows.rows()) {
-    std::string key_repr;
-    std::vector<Value> key_values;
-    key_values.reserve(key_cols.size());
-    for (const Column* col : key_cols) {
-      Value v = col->GetValue(r);
-      key_repr += v.is_null() ? std::string("\x01NULL") : v.ToString();
-      key_repr.push_back('\x02');
-      key_values.push_back(std::move(v));
-    }
+    key_repr.clear();
+    for (const Column* col : key_cols) AppendKeyCell(*col, r, &key_repr);
     auto [it, inserted] = group_of.emplace(key_repr, group_keys.size());
     if (inserted) {
+      std::vector<Value> key_values;
+      key_values.reserve(key_cols.size());
+      for (const Column* col : key_cols) key_values.push_back(col->GetValue(r));
       group_keys.push_back(std::move(key_values));
       group_states.emplace_back(aggs.size());
     }
@@ -115,7 +160,13 @@ Result<TablePtr> GroupBy(const Table& table, const SelectionVector& rows,
       if (col->IsNull(r)) continue;
       ++st.count;
       if (spec.fn == AggFn::kCountDistinct) {
-        st.distinct.insert(col->GetValue(r).ToString());
+        // Distinct codes are distinct strings; other types keep the
+        // rendering-keyed set.
+        if (col->type() == DataType::kString) {
+          st.distinct_codes.insert(col->codes()[r]);
+        } else {
+          st.distinct.insert(col->GetValue(r).ToString());
+        }
         continue;
       }
       if (spec.fn != AggFn::kCount) {
@@ -156,7 +207,8 @@ Result<TablePtr> GroupBy(const Table& table, const SelectionVector& rows,
           out->AppendInt(static_cast<int64_t>(st.count));
           break;
         case AggFn::kCountDistinct:
-          out->AppendInt(static_cast<int64_t>(st.distinct.size()));
+          out->AppendInt(static_cast<int64_t>(st.distinct.size() +
+                                              st.distinct_codes.size()));
           break;
         case AggFn::kSum:
           if (st.count == 0) {

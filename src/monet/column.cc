@@ -4,7 +4,9 @@
 
 namespace blaeu::monet {
 
-Column::Column(DataType type) : type_(type) {}
+Column::Column(DataType type) : type_(type) {
+  if (type_ == DataType::kString) dict_ = std::make_shared<Dictionary>();
+}
 
 void Column::Reserve(size_t n) {
   validity_.reserve(n);
@@ -16,7 +18,7 @@ void Column::Reserve(size_t n) {
       ints_.reserve(n);
       break;
     case DataType::kString:
-      strings_.reserve(n);
+      codes_.reserve(n);
       break;
     case DataType::kBool:
       bools_.reserve(n);
@@ -38,7 +40,7 @@ void Column::AppendInt(int64_t v) {
 
 void Column::AppendString(std::string v) {
   assert(type_ == DataType::kString);
-  strings_.push_back(std::move(v));
+  codes_.push_back(dict_->Intern(v));
   validity_.push_back(1);
 }
 
@@ -57,7 +59,7 @@ void Column::AppendNull() {
       ints_.push_back(0);
       break;
     case DataType::kString:
-      strings_.emplace_back();
+      codes_.push_back(Dictionary::kNullCode);
       break;
     case DataType::kBool:
       bools_.push_back(0);
@@ -109,6 +111,13 @@ Status Column::AppendValue(const Value& v) {
   return Status::Internal("unreachable");
 }
 
+const std::string& Column::StringAt(size_t row) const {
+  assert(type_ == DataType::kString && row < size());
+  static const std::string kEmpty;
+  const int32_t code = codes_[row];
+  return code == Dictionary::kNullCode ? kEmpty : dict_->value(code);
+}
+
 Value Column::GetValue(size_t row) const {
   assert(row < size());
   if (validity_[row] == 0) return Value::Null();
@@ -118,7 +127,7 @@ Value Column::GetValue(size_t row) const {
     case DataType::kInt64:
       return Value::Int(ints_[row]);
     case DataType::kString:
-      return Value::Str(strings_[row]);
+      return Value::Str(dict_->value(codes_[row]));
     case DataType::kBool:
       return Value::Boolean(bools_[row] != 0);
   }
@@ -143,6 +152,11 @@ double Column::GetNumeric(size_t row) const {
 
 Column Column::Take(const std::vector<uint32_t>& indices) const {
   Column out(type_);
+  if (type_ == DataType::kString) {
+    // Share the dictionary: codes stay valid verbatim, so the gather is a
+    // plain int32 copy and gathered columns compare codes with their source.
+    out.dict_ = dict_;
+  }
   out.Reserve(indices.size());
   for (uint32_t idx : indices) {
     assert(idx < size());
@@ -158,7 +172,8 @@ Column Column::Take(const std::vector<uint32_t>& indices) const {
         out.AppendInt(ints_[idx]);
         break;
       case DataType::kString:
-        out.AppendString(strings_[idx]);
+        out.codes_.push_back(codes_[idx]);
+        out.validity_.push_back(1);
         break;
       case DataType::kBool:
         out.AppendBool(bools_[idx] != 0);

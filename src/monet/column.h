@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "monet/dictionary.h"
 #include "monet/type.h"
 
 namespace blaeu::monet {
@@ -16,6 +17,12 @@ namespace blaeu::monet {
 /// Storage is column-major as in MonetDB: one dense vector per column plus a
 /// validity byte-vector (1 = present). Bulk algorithms read the typed
 /// vectors directly; Value-based access exists for row assembly and display.
+///
+/// String columns are dictionary-encoded: the payload is a dense int32 code
+/// vector (`codes()`, kNullCode for NULL cells) plus a shared append-ordered
+/// `Dictionary`. Appends intern; Take shares the source dictionary, so codes
+/// stay comparable across gathered columns. Hot loops compare/count codes
+/// and only render strings via `StringAt` / the dictionary at the edges.
 class Column {
  public:
   /// Creates an empty column of the given type.
@@ -49,9 +56,18 @@ class Column {
   /// Typed payload accessors. Only valid for the matching type().
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<int64_t>& ints() const { return ints_; }
-  const std::vector<std::string>& strings() const { return strings_; }
   const std::vector<uint8_t>& bools() const { return bools_; }
   const std::vector<uint8_t>& validity() const { return validity_; }
+
+  /// String columns: the dictionary-code payload (Dictionary::kNullCode for
+  /// NULL cells) and the shared dictionary. dictionary() is non-null for
+  /// every string column.
+  const std::vector<int32_t>& codes() const { return codes_; }
+  const DictionaryPtr& dictionary() const { return dict_; }
+
+  /// String cell by reference, without materializing a copy. Returns an
+  /// empty string for NULL cells. Only valid for string columns.
+  const std::string& StringAt(size_t row) const;
 
   /// New column holding rows at `indices` (duplicates allowed) — the
   /// positional gather used by filters and samples.
@@ -63,11 +79,13 @@ class Column {
   DataType type_;
   std::vector<uint8_t> validity_;
   size_t null_count_ = 0;
-  // Exactly one payload vector is populated, chosen by type_.
+  // Exactly one payload vector is populated, chosen by type_. Strings live
+  // in dict_; codes_ is their dense per-row payload.
   std::vector<double> doubles_;
   std::vector<int64_t> ints_;
-  std::vector<std::string> strings_;
+  std::vector<int32_t> codes_;
   std::vector<uint8_t> bools_;
+  DictionaryPtr dict_;
 };
 
 using ColumnPtr = std::shared_ptr<Column>;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -10,15 +12,86 @@ namespace blaeu::monet {
 
 namespace {
 
+/// Sorts (value, count) pairs the way every frequency ranking in the system
+/// does: count descending, then value ascending.
+void RankTops(std::vector<std::pair<std::string, size_t>>* tops) {
+  std::sort(tops->begin(), tops->end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+}
+
+/// Accumulates the numeric moments (sum/min/max) shared by both stats
+/// implementations.
+struct Moments {
+  double sum = 0, sum_sq = 0;
+  size_t n = 0;
+  bool first = true;
+
+  void Add(double x, ColumnStats* s) {
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+    if (first) {
+      s->min = s->max = x;
+      first = false;
+    } else {
+      s->min = std::min(s->min, x);
+      s->max = std::max(s->max, x);
+    }
+  }
+
+  void Finish(ColumnStats* s) const {
+    if (n == 0) return;
+    s->mean = sum / static_cast<double>(n);
+    double var = sum_sq / static_cast<double>(n) - s->mean * s->mean;
+    s->stddev = var > 0 ? std::sqrt(var) : 0.0;
+  }
+};
+
+/// Stats for a dictionary-encoded string column: one dense counter per
+/// dictionary code — no per-cell string materialization or hashing.
+ColumnStats StringStatsImpl(const Column& col,
+                            const std::vector<uint32_t>& rows,
+                            bool want_tops) {
+  ColumnStats s;
+  s.count = rows.size();
+  const std::vector<int32_t>& codes = col.codes();
+  const Dictionary& dict = *col.dictionary();
+  std::vector<size_t> counts(dict.size(), 0);
+  for (uint32_t r : rows) {
+    const int32_t c = codes[r];
+    if (c == Dictionary::kNullCode) {
+      ++s.null_count;
+    } else {
+      ++counts[static_cast<size_t>(c)];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> tops;
+  for (size_t code = 0; code < counts.size(); ++code) {
+    if (counts[code] == 0) continue;
+    ++s.distinct;
+    if (want_tops) {
+      tops.emplace_back(dict.value(static_cast<int32_t>(code)), counts[code]);
+    }
+  }
+  if (want_tops) {
+    RankTops(&tops);
+    if (tops.size() > 16) tops.resize(16);
+    s.top_values = std::move(tops);
+  }
+  return s;
+}
+
 ColumnStats ComputeStatsImpl(const Column& col,
                              const std::vector<uint32_t>& rows) {
+  if (col.type() == DataType::kString) {
+    return StringStatsImpl(col, rows, /*want_tops=*/true);
+  }
   ColumnStats s;
   s.count = rows.size();
   std::unordered_map<std::string, size_t> counter;
-  double sum = 0, sum_sq = 0;
-  size_t numeric_n = 0;
-  bool numeric = col.type() != DataType::kString;
-  bool first = true;
+  Moments m;
   for (uint32_t r : rows) {
     if (col.IsNull(r)) {
       ++s.null_count;
@@ -26,32 +99,13 @@ ColumnStats ComputeStatsImpl(const Column& col,
     }
     Value v = col.GetValue(r);
     ++counter[v.ToString()];
-    if (numeric) {
-      double x = col.GetNumeric(r);
-      sum += x;
-      sum_sq += x * x;
-      ++numeric_n;
-      if (first) {
-        s.min = s.max = x;
-        first = false;
-      } else {
-        s.min = std::min(s.min, x);
-        s.max = std::max(s.max, x);
-      }
-    }
+    m.Add(col.GetNumeric(r), &s);
   }
   s.distinct = counter.size();
-  if (numeric_n > 0) {
-    s.mean = sum / static_cast<double>(numeric_n);
-    double var = sum_sq / static_cast<double>(numeric_n) - s.mean * s.mean;
-    s.stddev = var > 0 ? std::sqrt(var) : 0.0;
-  }
+  m.Finish(&s);
   std::vector<std::pair<std::string, size_t>> tops(counter.begin(),
                                                    counter.end());
-  std::sort(tops.begin(), tops.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
+  RankTops(&tops);
   if (tops.size() > 16) tops.resize(16);
   s.top_values = std::move(tops);
   return s;
@@ -70,6 +124,102 @@ ColumnStats ComputeColumnStats(const Column& col,
   return ComputeStatsImpl(col, sel.rows());
 }
 
+ColumnStats ComputeColumnStatsBounded(const Column& col,
+                                      const SelectionVector& sel,
+                                      size_t distinct_cap) {
+  const std::vector<uint32_t>& rows = sel.rows();
+  if (col.type() == DataType::kString) {
+    // The dense code counter is already cheap; distinct comes out exact.
+    return StringStatsImpl(col, rows, /*want_tops=*/false);
+  }
+  ColumnStats s;
+  s.count = rows.size();
+  Moments m;
+  if (col.type() == DataType::kBool) {
+    bool saw[2] = {false, false};
+    for (uint32_t r : rows) {
+      if (col.IsNull(r)) {
+        ++s.null_count;
+        continue;
+      }
+      saw[col.bools()[r] ? 1 : 0] = true;
+      m.Add(col.bools()[r] ? 1.0 : 0.0, &s);
+    }
+    s.distinct = (saw[0] ? 1 : 0) + (saw[1] ? 1 : 0);
+    m.Finish(&s);
+    return s;
+  }
+  // Numeric: distinct values are keyed by their rendering (the unbounded
+  // implementation's semantics — %.6g can merge nearby values, so keying by
+  // bit pattern alone would over-count). The two-stage trick keeps rendering
+  // off the per-row path: only never-seen bit patterns are rendered, and
+  // once the rendering count exceeds the cap all tracking stops.
+  bool overflowed = false;
+  std::unordered_set<uint64_t> seen_bits;
+  std::unordered_set<std::string> renderings;
+  const bool is_int = col.type() == DataType::kInt64;
+  for (uint32_t r : rows) {
+    if (col.IsNull(r)) {
+      ++s.null_count;
+      continue;
+    }
+    const double x = col.GetNumeric(r);
+    m.Add(x, &s);
+    if (overflowed) continue;
+    uint64_t bits;
+    if (is_int) {
+      bits = static_cast<uint64_t>(col.ints()[r]);
+    } else {
+      double d = col.doubles()[r];
+      std::memcpy(&bits, &d, sizeof(bits));
+    }
+    if (!seen_bits.insert(bits).second) continue;
+    if (is_int) {
+      // std::to_string is injective on int64: the bit pattern IS the value.
+      if (seen_bits.size() > distinct_cap) overflowed = true;
+    } else {
+      renderings.insert(FormatDouble(col.doubles()[r]));
+      if (renderings.size() > distinct_cap) overflowed = true;
+    }
+    if (overflowed) {
+      seen_bits.clear();
+      renderings.clear();
+    }
+  }
+  s.distinct = overflowed ? distinct_cap + 1
+                          : (is_int ? seen_bits.size() : renderings.size());
+  m.Finish(&s);
+  return s;
+}
+
+namespace {
+
+/// Early-exit uniqueness check, equivalent to
+/// ComputeColumnStats(col).IsUniqueKey() but without building frequency
+/// tables: bails on the first NULL or the first repeated value.
+bool IsUniqueNonNull(const Column& col) {
+  if (col.empty() || col.null_count() > 0) return false;
+  if (col.type() == DataType::kString) {
+    const Dictionary& dict = *col.dictionary();
+    // A repeated code is exactly a repeated string; seen[] is dense.
+    std::vector<uint8_t> seen(dict.size(), 0);
+    for (int32_t c : col.codes()) {
+      if (seen[static_cast<size_t>(c)]) return false;
+      seen[static_cast<size_t>(c)] = 1;
+    }
+    return true;
+  }
+  // kInt64 (the only other type DetectPrimaryKeyColumns probes).
+  std::unordered_set<int64_t> seen;
+  seen.reserve(col.size() * 2);
+  for (int64_t v : col.ints()) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<size_t> DetectPrimaryKeyColumns(const Table& table) {
   std::vector<size_t> out;
   for (size_t i = 0; i < table.num_columns(); ++i) {
@@ -85,8 +235,7 @@ std::vector<size_t> DetectPrimaryKeyColumns(const Table& table) {
     // Unique string/int columns are identifier-like; unique doubles are
     // usually measurements, so only flag exact types.
     if (col.type() == DataType::kString || col.type() == DataType::kInt64) {
-      ColumnStats s = ComputeColumnStats(col);
-      if (s.IsUniqueKey() && s.count > 1) out.push_back(i);
+      if (col.size() > 1 && IsUniqueNonNull(col)) out.push_back(i);
     }
   }
   return out;

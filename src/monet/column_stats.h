@@ -40,6 +40,16 @@ ColumnStats ComputeColumnStats(const Column& col);
 /// Computes stats over the rows in `sel` only.
 ColumnStats ComputeColumnStats(const Column& col, const SelectionVector& sel);
 
+/// Planning-grade stats: exact counts/moments, but distinct tracking stops
+/// once more than `distinct_cap` distinct values have been seen (the result
+/// then reports `distinct_cap + 1`) and `top_values` is left empty. Distinct
+/// values below the cap are exact and keyed by rendering, identical to
+/// ComputeColumnStats. Use when the consumer only compares `distinct`
+/// against a threshold <= `distinct_cap`.
+ColumnStats ComputeColumnStatsBounded(const Column& col,
+                                      const SelectionVector& sel,
+                                      size_t distinct_cap);
+
 /// Indices of columns that look like primary keys: unique-valued columns,
 /// and string/int columns whose lower-cased name is "id", ends in "_id" or
 /// "id" following a letter. These are excluded from clustering (paper §3:

@@ -217,6 +217,17 @@ Result<TablePtr> ReadCsv(std::istream& in, const CsvOptions& options) {
   }
   registry.counter("monet.csv.rows_read")
       ->Add(static_cast<int64_t>(lines.size() - first_data));
+  // Dictionary accounting for the string columns this load interned.
+  for (const ColumnPtr& col : columns) {
+    if (col->type() != DataType::kString) continue;
+    const Dictionary& dict = *col->dictionary();
+    registry.counter("monet.dict.entries")
+        ->Add(static_cast<int64_t>(dict.size()));
+    registry.counter("monet.dict.bytes")
+        ->Add(static_cast<int64_t>(dict.bytes()));
+    registry.counter("monet.dict.intern_hits")
+        ->Add(static_cast<int64_t>(dict.intern_hits()));
+  }
   return Table::Make(Schema(std::move(schema_fields)), std::move(columns));
 }
 

@@ -1,0 +1,30 @@
+#include "monet/dictionary.h"
+
+namespace blaeu::monet {
+
+int32_t Dictionary::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) {
+    ++intern_hits_;
+    return it->second;
+  }
+  const int32_t code = static_cast<int32_t>(values_.size());
+  values_.emplace_back(s);
+  string_bytes_ += values_.back().capacity();
+  index_.emplace(std::string_view(values_.back()), code);
+  return code;
+}
+
+int32_t Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNullCode : it->second;
+}
+
+size_t Dictionary::bytes() const {
+  // Pool strings + per-entry deque/index node overhead estimates.
+  return string_bytes_ +
+         values_.size() * (sizeof(std::string) + sizeof(std::string_view) +
+                           sizeof(int32_t) + 32);
+}
+
+}  // namespace blaeu::monet

@@ -1,0 +1,68 @@
+// Per-column string dictionaries: append-ordered interning pools mapping
+// strings to dense int32 codes, the classic columnar-execution trick
+// (MonetDB-style) that lets every downstream operator work on integers
+// instead of materializing a fresh std::string per cell.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace blaeu::monet {
+
+/// \brief An append-ordered string pool with a reverse index.
+///
+/// Codes are assigned densely in first-intern order and are never reused or
+/// reordered, so a code minted once stays valid for the lifetime of the
+/// dictionary — columns produced by Take/gather share their source's
+/// dictionary and carry codes over unchanged. The pool is append-only and
+/// NOT thread-safe to mutate; concurrent reads (the hot paths) are safe once
+/// loading is done, which matches the store's immutable-table contract.
+class Dictionary {
+ public:
+  /// Code used by columns for NULL cells; never a valid pool index.
+  static constexpr int32_t kNullCode = -1;
+
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Code of `s`, interning it if unseen. O(1) amortized.
+  int32_t Intern(std::string_view s);
+
+  /// Code of `s` if already interned, else kNullCode. Never mutates.
+  int32_t Find(std::string_view s) const;
+
+  /// String for a valid code (0 <= code < size()). The reference is stable:
+  /// the pool never moves its strings.
+  const std::string& value(int32_t code) const {
+    return values_[static_cast<size_t>(code)];
+  }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Interns that found an existing entry (cells beyond the first of each
+  /// distinct string). Feeds the monet.dict.intern_hits counter.
+  size_t intern_hits() const { return intern_hits_; }
+
+  /// Approximate heap footprint of pool + index.
+  size_t bytes() const;
+
+ private:
+  // deque, not vector: element addresses are stable under push_back, so the
+  // index can key string_views into the pool without re-allocation hazards
+  // (SSO strings move their buffer with the object inside a vector).
+  std::deque<std::string> values_;
+  std::unordered_map<std::string_view, int32_t> index_;
+  size_t intern_hits_ = 0;
+  size_t string_bytes_ = 0;
+};
+
+using DictionaryPtr = std::shared_ptr<Dictionary>;
+
+}  // namespace blaeu::monet

@@ -20,7 +20,7 @@ int CompareCell(const KeyColumn& key, uint32_t a, uint32_t b) {
   if (bn) return -1;
   int cmp;
   if (key.column->type() == DataType::kString) {
-    cmp = key.column->strings()[a].compare(key.column->strings()[b]);
+    cmp = key.column->StringAt(a).compare(key.column->StringAt(b));
     cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
   } else {
     double x = key.column->GetNumeric(a);

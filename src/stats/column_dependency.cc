@@ -16,17 +16,39 @@ std::vector<int> EncodeColumnDiscrete(const Column& col,
                                       const std::vector<uint32_t>& rows,
                                       size_t num_bins) {
   std::vector<int> codes(rows.size());
-  if (col.type() == DataType::kString || col.type() == DataType::kBool) {
-    std::unordered_map<std::string, int> dict;
+  if (col.type() == DataType::kString) {
+    // Dictionary columns: dense remap of dictionary codes in order of first
+    // appearance. Distinct strings and distinct codes are one-to-one, so
+    // this emits exactly the codes the string-keyed path would — without
+    // materializing or hashing a single cell.
+    const std::vector<int32_t>& cell_codes = col.codes();
+    std::vector<int> remap(col.dictionary()->size(), -2);  // -2 = unseen
+    int next = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const int32_t c = cell_codes[rows[i]];
+      if (c == monet::Dictionary::kNullCode) {
+        codes[i] = -1;
+        continue;
+      }
+      int& slot = remap[static_cast<size_t>(c)];
+      if (slot == -2) slot = next++;
+      codes[i] = slot;
+    }
+    return codes;
+  }
+  if (col.type() == DataType::kBool) {
+    // Same first-appearance contract over the two bool renderings.
+    int remap[2] = {-2, -2};
+    int next = 0;
     for (size_t i = 0; i < rows.size(); ++i) {
       uint32_t r = rows[i];
       if (col.IsNull(r)) {
         codes[i] = -1;
         continue;
       }
-      std::string key = col.GetValue(r).ToString();
-      auto [it, _] = dict.emplace(key, static_cast<int>(dict.size()));
-      codes[i] = it->second;
+      int& slot = remap[col.bools()[r] ? 1 : 0];
+      if (slot == -2) slot = next++;
+      codes[i] = slot;
     }
     return codes;
   }

@@ -165,17 +165,54 @@ void BestCategoricalSplit(const TrainContext& ctx,
   std::unordered_map<std::string, std::vector<size_t>> per_category;
   std::vector<size_t> null_counts(ctx.num_classes, 0);
   size_t nulls = 0;
-  for (size_t i : idx) {
-    uint32_t r = rows[i];
-    if (col.IsNull(r)) {
-      ++null_counts[(*ctx.labels)[i]];
-      ++nulls;
-      continue;
+  if (col.type() == DataType::kString) {
+    // Count class profiles per dictionary code; category strings are
+    // rendered once per distinct value when the map is assembled below.
+    const std::vector<int32_t>& cell_codes = col.codes();
+    std::unordered_map<int32_t, std::vector<size_t>> per_code;
+    for (size_t i : idx) {
+      const int32_t c = cell_codes[rows[i]];
+      if (c == monet::Dictionary::kNullCode) {
+        ++null_counts[(*ctx.labels)[i]];
+        ++nulls;
+        continue;
+      }
+      auto [it, _] = per_code.try_emplace(c);
+      it->second.resize(ctx.num_classes, 0);
+      ++it->second[(*ctx.labels)[i]];
     }
-    std::string key = col.GetValue(r).ToString();
-    auto [it, _] = per_category.try_emplace(key);
-    it->second.resize(ctx.num_classes, 0);
-    ++it->second[(*ctx.labels)[i]];
+    const monet::Dictionary& dict = *col.dictionary();
+    for (auto& [code, counts] : per_code) {
+      per_category.emplace(dict.value(code), std::move(counts));
+    }
+  } else if (col.type() == DataType::kBool) {
+    std::vector<size_t> counts[2];
+    for (size_t i : idx) {
+      uint32_t r = rows[i];
+      if (col.IsNull(r)) {
+        ++null_counts[(*ctx.labels)[i]];
+        ++nulls;
+        continue;
+      }
+      std::vector<size_t>& slot = counts[col.bools()[r] ? 1 : 0];
+      slot.resize(ctx.num_classes, 0);
+      ++slot[(*ctx.labels)[i]];
+    }
+    if (!counts[1].empty()) per_category.emplace("true", std::move(counts[1]));
+    if (!counts[0].empty()) per_category.emplace("false", std::move(counts[0]));
+  } else {
+    for (size_t i : idx) {
+      uint32_t r = rows[i];
+      if (col.IsNull(r)) {
+        ++null_counts[(*ctx.labels)[i]];
+        ++nulls;
+        continue;
+      }
+      std::string key = col.GetValue(r).ToString();
+      auto [it, _] = per_category.try_emplace(key);
+      it->second.resize(ctx.num_classes, 0);
+      ++it->second[(*ctx.labels)[i]];
+    }
   }
   if (per_category.size() < 2 || per_category.size() > 64) return;
 
@@ -266,7 +303,12 @@ void BestCategoricalSplit(const TrainContext& ctx,
 bool RowGoesLeft(const CartNode& node, const Column& col, uint32_t row) {
   if (col.IsNull(row)) return node.null_goes_left;
   if (node.categorical_split) {
-    std::string v = col.GetValue(row).ToString();
+    // Categorical splits only exist on string/bool columns; both sides of
+    // the comparison are referenced, not materialized.
+    static const std::string kTrue = "true", kFalse = "false";
+    const std::string& v = col.type() == DataType::kString
+                               ? col.StringAt(row)
+                               : (col.bools()[row] ? kTrue : kFalse);
     return std::binary_search(node.categories.begin(), node.categories.end(),
                               v);
   }

@@ -54,7 +54,7 @@ TEST(ColumnTest, StringColumn) {
   Column col(DataType::kString);
   col.AppendString("a");
   col.AppendString("b");
-  EXPECT_EQ(col.strings()[1], "b");
+  EXPECT_EQ(col.StringAt(1), "b");
   EXPECT_EQ(col.GetValue(0).AsString(), "a");
 }
 

@@ -1,0 +1,227 @@
+// Dictionary-encoded string columns: interning, gather, null handling, CSV
+// load equivalence, collision-free group-by keys, and the property that the
+// dictionary fast paths through preprocessing are byte-identical to the
+// generic string paths.
+#include "monet/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/map_builder.h"
+#include "core/preprocess.h"
+#include "core/render.h"
+#include "monet/aggregate.h"
+#include "monet/csv.h"
+#include "monet/predicate.h"
+#include "monet/table.h"
+#include "workloads/hollywood.h"
+
+namespace blaeu::monet {
+namespace {
+
+TEST(DictionaryTest, InternRoundTripAndHits) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.empty());
+  int32_t a = dict.Intern("alpha");
+  int32_t b = dict.Intern("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(dict.Intern("alpha"), a);  // same code, no new entry
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.value(a), "alpha");
+  EXPECT_EQ(dict.value(b), "beta");
+  EXPECT_EQ(dict.intern_hits(), 1u);
+  EXPECT_EQ(dict.Find("beta"), b);
+  EXPECT_EQ(dict.Find("gamma"), Dictionary::kNullCode);
+  EXPECT_GT(dict.bytes(), 0u);
+}
+
+TEST(DictionaryTest, ManyEntriesKeepStableViews) {
+  // The index keys are views into the pool; growth must not invalidate
+  // them (deque storage). 10k entries force many internal reallocations.
+  Dictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(dict.Intern("value_" + std::to_string(i)), i);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(dict.Find("value_" + std::to_string(i)), i);
+    ASSERT_EQ(dict.value(i), "value_" + std::to_string(i));
+  }
+}
+
+TEST(DictionaryColumnTest, AppendInternsAndNullsGetNullCode) {
+  Column col(DataType::kString);
+  col.AppendString("x");
+  col.AppendString("y");
+  col.AppendNull();
+  col.AppendString("x");
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.codes()[0], col.codes()[3]);  // repeated value, one code
+  EXPECT_NE(col.codes()[0], col.codes()[1]);
+  EXPECT_EQ(col.codes()[2], Dictionary::kNullCode);
+  EXPECT_EQ(col.dictionary()->size(), 2u);
+  EXPECT_EQ(col.StringAt(0), "x");
+  EXPECT_EQ(col.StringAt(2), "");  // null renders empty by reference
+  EXPECT_TRUE(col.GetValue(2).is_null());
+  EXPECT_EQ(col.GetValue(1).AsString(), "y");
+}
+
+TEST(DictionaryColumnTest, TakeSharesDictionaryAndCopiesCodes) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  col.AppendString("b");
+  col.AppendNull();
+  col.AppendString("c");
+  Column taken = col.Take({3, 1, 1, 2});
+  // Same dictionary object: codes stay comparable across the gather.
+  EXPECT_EQ(taken.dictionary().get(), col.dictionary().get());
+  ASSERT_EQ(taken.size(), 4u);
+  EXPECT_EQ(taken.codes()[0], col.codes()[3]);
+  EXPECT_EQ(taken.codes()[1], col.codes()[1]);
+  EXPECT_EQ(taken.codes()[2], col.codes()[1]);
+  EXPECT_EQ(taken.codes()[3], Dictionary::kNullCode);
+  EXPECT_EQ(taken.StringAt(0), "c");
+  EXPECT_EQ(taken.StringAt(1), "b");
+  EXPECT_TRUE(taken.IsNull(3));
+}
+
+TEST(DictionaryColumnTest, CsvLoadInternsStrings) {
+  std::istringstream in(
+      "city,pop\n"
+      "lyon,500\n"
+      "paris,2100\n"
+      "lyon,500\n"
+      ",0\n"
+      "paris,2100\n");
+  auto table = ReadCsv(in, {});
+  ASSERT_TRUE(table.ok());
+  const Column& city = *(*table)->column(0);
+  ASSERT_EQ(city.type(), DataType::kString);
+  EXPECT_EQ(city.dictionary()->size(), 2u);  // lyon, paris
+  EXPECT_EQ(city.codes()[0], city.codes()[2]);
+  EXPECT_EQ(city.codes()[1], city.codes()[4]);
+  EXPECT_EQ(city.codes()[3], Dictionary::kNullCode);
+  EXPECT_EQ(city.StringAt(4), "paris");
+}
+
+TEST(DictionaryColumnTest, PredicateOnAbsentLiteral) {
+  // A literal that was never interned must behave like plain comparison:
+  // Eq matches nothing, Ne matches every non-null, IN skips it.
+  TableBuilder b(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("a")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("b")}).ok());
+  TablePtr t = *b.Finish();
+  auto eq = Conjunction({Condition::Compare("s", CompareOp::kEq,
+                                            Value::Str("missing"))})
+                .Evaluate(*t);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->rows().empty());
+  auto ne = Conjunction({Condition::Compare("s", CompareOp::kNe,
+                                            Value::Str("missing"))})
+                .Evaluate(*t);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->rows(), (std::vector<uint32_t>{0, 2}));
+  auto in = Conjunction({Condition::InSet("s", {"missing", "b"})}).Evaluate(*t);
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->rows(), (std::vector<uint32_t>{2}));
+}
+
+TEST(GroupByKeyTest, SeparatorBytesInValuesDoNotCollide) {
+  // Regression: the old group key joined renderings with '\x02', so the
+  // tuples ("a\x02", "b") and ("a", "\x02b") hashed identically and their
+  // rows were merged into one group.
+  TableBuilder b(Schema({{"k1", DataType::kString},
+                         {"k2", DataType::kString},
+                         {"v", DataType::kInt64}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("a\x02"), Value::Str("b"),
+                           Value::Int(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("a"), Value::Str("\x02b"),
+                           Value::Int(10)}).ok());
+  TablePtr t = *b.Finish();
+  auto grouped = GroupBy(*t, {"k1", "k2"}, {{AggFn::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->num_rows(), 2u);
+}
+
+TEST(GroupByKeyTest, NullSentinelStringDoesNotCollideWithNull) {
+  // Regression: a cell whose VALUE is the old "\x01NULL" sentinel used to
+  // merge with an actual NULL key.
+  TableBuilder b(Schema({{"k", DataType::kString}, {"v", DataType::kInt64}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("\x01NULL"), Value::Int(1)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::Int(2)}).ok());
+  TablePtr t = *b.Finish();
+  auto grouped = GroupBy(*t, {"k"}, {{AggFn::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->num_rows(), 2u);
+}
+
+TEST(GroupByKeyTest, CountDistinctOnStringsUsesCodes) {
+  TableBuilder b(Schema({{"k", DataType::kString}, {"s", DataType::kString}}));
+  ASSERT_TRUE(b.AppendRow({Value::Str("g"), Value::Str("x")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("g"), Value::Str("y")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("g"), Value::Str("x")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Str("g"), Value::Null()}).ok());
+  TablePtr t = *b.Finish();
+  auto grouped = GroupBy(*t, {"k"}, {{AggFn::kCountDistinct, "s", "d"}});
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ((*grouped)->num_rows(), 1u);
+  EXPECT_EQ((*grouped)->column(1)->GetValue(0).AsInt(), 2);
+}
+
+// -- Dictionary-path vs string-path equivalence ---------------------------
+
+TEST(DictionaryEquivalenceTest, PreprocessMatricesAreBitIdentical) {
+  auto data = workloads::MakeHollywood({});  // categorical-heavy workload
+  const Table& table = *data.table;
+  SelectionVector all = SelectionVector::All(table.num_rows());
+  for (auto encoding : {core::CategoricalEncoding::kDummy,
+                        core::CategoricalEncoding::kGower}) {
+    core::PreprocessOptions fast;
+    fast.encoding = encoding;
+    core::PreprocessOptions slow = fast;
+    slow.use_dictionary = false;
+    auto a = core::Preprocess(table, all, fast);
+    auto b = core::Preprocess(table, all, slow);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->feature_info.size(), b->feature_info.size());
+    for (size_t f = 0; f < a->feature_info.size(); ++f) {
+      EXPECT_EQ(a->feature_info[f].category, b->feature_info[f].category);
+    }
+    ASSERT_EQ(a->features.rows(), b->features.rows());
+    ASSERT_EQ(a->features.cols(), b->features.cols());
+    for (size_t i = 0; i < a->features.rows(); ++i) {
+      for (size_t j = 0; j < a->features.cols(); ++j) {
+        const double x = a->features.At(i, j);
+        const double y = b->features.At(i, j);
+        if (std::isnan(x)) {
+          ASSERT_TRUE(std::isnan(y)) << "row " << i << " col " << j;
+        } else {
+          ASSERT_EQ(x, y) << "row " << i << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(DictionaryEquivalenceTest, MapJsonIsByteIdentical) {
+  workloads::HollywoodSpec spec;
+  spec.rows = 600;
+  auto data = workloads::MakeHollywood(spec);
+  core::MapOptions fast;
+  fast.sample_size = 300;
+  fast.k_max = 4;
+  core::MapOptions slow = fast;
+  slow.preprocess.use_dictionary = false;
+  auto a = core::BuildMap(*data.table, fast);
+  auto b = core::BuildMap(*data.table, slow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(core::CanonicalMapJson(*a), core::CanonicalMapJson(*b));
+}
+
+}  // namespace
+}  // namespace blaeu::monet

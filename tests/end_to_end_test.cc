@@ -117,7 +117,7 @@ TEST(EndToEndTest, HighIncomeRegionContainsTheRightCountries) {
   ASSERT_GT(best_rows.size(), 0u);
   size_t rich_profile = 0;
   for (uint32_t r : best_rows.rows()) {
-    const std::string& c = country->strings()[r];
+    const std::string& c = country->StringAt(r);
     if (c == "Switzerland" || c == "Norway" || c == "Canada" ||
         c == "Netherlands" || c == "Denmark" || c == "Sweden" ||
         c == "Iceland" || c == "Luxembourg") {

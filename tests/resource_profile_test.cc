@@ -96,7 +96,9 @@ TEST(ResourceProfileTest, WarmCacheHitReportsZeroWork) {
   Session s = std::move(session).ValueOrDie();
 
   // The initial map was built cold through the cache: a miss, real work.
-  const obs::ResourceProfile& cold = s.current().map.resources;
+  // Copied, not referenced: navigating below grows the session's state
+  // vector, which would invalidate a reference into it.
+  const obs::ResourceProfile cold = s.current().map.resources;
   EXPECT_EQ(cold.cache_misses, 1);
   EXPECT_EQ(cold.cache_hits, 0);
   EXPECT_EQ(cold.rows_scanned, 500);

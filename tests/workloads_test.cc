@@ -126,7 +126,7 @@ TEST(OecdTest, MatchesPaperDimensions) {
   std::set<std::string> countries;
   auto country = *d.table->ColumnByName("country");
   for (size_t r = 0; r < 1000; ++r) {
-    countries.insert(country->strings()[r]);
+    countries.insert(country->StringAt(r));
   }
   EXPECT_EQ(countries.size(), 31u);
 }
